@@ -1,0 +1,16 @@
+"""Benchmark: Figure 1 — headline maximum supported players (100 constructs).
+
+Paper: Servo 150, Minecraft 90, Opencraft 10 supported players.
+Expected shape: Servo > Minecraft > Opencraft.
+"""
+
+from repro.experiments.fig01_headline import PAPER_VALUES, format_fig01, run_fig01
+
+
+def test_fig01_headline_max_players(benchmark, settings, report_sink):
+    result = benchmark.pedantic(run_fig01, args=(settings,), rounds=1, iterations=1)
+    report_sink.append(("Figure 1: headline max players", format_fig01(result)))
+    measured = result.max_players
+    assert measured["servo"] > measured["minecraft"]
+    assert measured["minecraft"] >= measured["opencraft"]
+    assert measured["servo"] >= PAPER_VALUES["opencraft"]

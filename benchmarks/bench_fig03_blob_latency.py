@@ -1,0 +1,20 @@
+"""Benchmark: Figure 3 — blob storage download latency for game data.
+
+Paper: downloads of player/terrain data from Azure Blob Storage take hundreds
+of milliseconds with high variability; most samples exceed the ~100 ms network
+budget of first-person games, motivating Servo's caching design.
+"""
+
+from repro.experiments.fig03_storage_latency import format_fig03, run_fig03
+
+
+def test_fig03_download_latency_distributions(benchmark, settings, report_sink):
+    result = benchmark.pedantic(run_fig03, args=(settings,), rounds=1, iterations=1)
+    report_sink.append(("Figure 3: blob download latency", format_fig03(result)))
+    # Premium is faster than standard for both data kinds.
+    assert result.stats("player", "premium").median < result.stats("player", "standard").median
+    assert result.stats("terrain", "premium").median < result.stats("terrain", "standard").median
+    # Terrain objects are slower to fetch than player records.
+    assert result.stats("terrain", "standard").median > result.stats("player", "standard").median
+    # Most downloads exceed the FPS latency budget (the paper's motivation).
+    assert result.exceeds_fps_budget_fraction("terrain", "standard") > 0.9

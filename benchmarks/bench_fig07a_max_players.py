@@ -1,0 +1,31 @@
+"""Benchmark: Figure 7a — maximum supported players vs construct count.
+
+Paper (players supported at 0/100/200 constructs):
+  Opencraft 200/10/0, Minecraft 110/90/0, Servo 190/150/120.
+Expected shape: all games degrade as constructs increase; the baselines
+collapse to zero at 200 constructs while Servo still supports >=100 players.
+"""
+
+from repro.experiments.fig07_scalability import format_fig07a, run_fig07a
+
+
+def test_fig07a_max_players_vs_constructs(benchmark, settings, report_sink):
+    result = benchmark.pedantic(
+        run_fig07a,
+        args=(settings,),
+        kwargs={"construct_counts": (0, 100, 200)},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink.append(("Figure 7a: max players vs constructs", format_fig07a(result)))
+    measured = result.max_players
+    # The baselines cannot support players at 200 constructs; Servo can.
+    assert measured[("opencraft", 200)] == 0
+    assert measured[("minecraft", 200)] == 0
+    assert measured[("servo", 200)] >= 100
+    # At 100 constructs Servo supports the most players.
+    assert measured[("servo", 100)] > measured[("minecraft", 100)]
+    assert measured[("servo", 100)] > measured[("opencraft", 100)]
+    # Without constructs every game supports a large population.
+    assert measured[("opencraft", 0)] >= 100
+    assert measured[("servo", 0)] >= 100

@@ -1,0 +1,34 @@
+"""Benchmark: Figure 8 — efficiency of speculative execution.
+
+Paper: median efficiency is 84 % with no tick lead and 100 % with a lead of 10,
+20 or 40 ticks; efficiency stays at 100 % for 50- and 100-step simulations and
+drops below 100 % for 200 steps (the function latency exceeds the lead).
+"""
+
+from repro.experiments.fig08_efficiency import format_fig08, run_fig08
+
+
+def test_fig08_speculation_efficiency(benchmark, settings, report_sink):
+    result = benchmark.pedantic(
+        run_fig08,
+        args=(settings,),
+        kwargs={"tick_leads": (0, 10, 20), "lengths": (50, 200)},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink.append(("Figure 8: speculation efficiency", format_fig08(result)))
+
+    lead0 = result.by_tick_lead[0].efficiency_stats()
+    lead10 = result.by_tick_lead[10].efficiency_stats()
+    lead20 = result.by_tick_lead[20].efficiency_stats()
+    # No lead: most of each batch is still useful, but not all of it.
+    assert 0.6 <= lead0.median <= 0.95
+    # A lead of >=10 ticks hides the function latency completely (median 100%).
+    assert lead10.median >= 0.99
+    assert lead20.median >= 0.99
+
+    short = result.by_length[50].efficiency_stats()
+    long = result.by_length[200].efficiency_stats()
+    # 50-step simulations finish within the lead; 200-step ones do not.
+    assert short.median >= 0.99
+    assert long.median < 0.99

@@ -1,0 +1,39 @@
+"""Benchmark: Figure 9 — offload latency, invocation rate and cost.
+
+Paper: function latency grows with the simulation length (~1459 ms mean at 200
+steps); the invocation rate halves when the length doubles (1200/min at 50
+steps for 50 constructs); the resulting cost is of the same order of magnitude
+as one c5n.xlarge VM ($0.216/hour).
+"""
+
+from repro.experiments.fig09_latency_invocations import (
+    C5N_XLARGE_USD_PER_HOUR,
+    PAPER_MEAN_LATENCY_200_STEPS_MS,
+    format_fig09,
+    run_fig09,
+)
+
+
+def test_fig09_latency_invocations_and_cost(benchmark, settings, report_sink):
+    result = benchmark.pedantic(
+        run_fig09,
+        args=(settings,),
+        kwargs={"lengths": (50, 100, 200), "construct_count": 25},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink.append(("Figure 9: offload latency / invocations / cost", format_fig09(result)))
+
+    # Latency grows with simulation length and lands near the paper's 1.46 s
+    # mean for 200-step simulations.
+    assert result.mean_latency_ms(50) < result.mean_latency_ms(100) < result.mean_latency_ms(200)
+    assert 0.5 * PAPER_MEAN_LATENCY_200_STEPS_MS < result.mean_latency_ms(200) < 2.0 * PAPER_MEAN_LATENCY_200_STEPS_MS
+
+    # The invocation rate roughly halves as the length doubles.
+    ratio = result.invocations_per_minute(50) / max(result.invocations_per_minute(100), 1e-9)
+    assert 1.5 < ratio < 3.0
+
+    # Cost is within an order of magnitude of one VM.
+    cost = result.cost_per_hour_usd(100)
+    assert cost < 10 * C5N_XLARGE_USD_PER_HOUR
+    assert cost > 0

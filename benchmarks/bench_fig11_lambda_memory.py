@@ -1,0 +1,33 @@
+"""Benchmark: Figure 11 — terrain generation vs Lambda memory configuration.
+
+Paper: a 10240 MB function generates a chunk in under a second on average, a
+320 MB one takes more than three seconds; variability grows as memory shrinks;
+the normalised performance-to-cost ratio favours small configurations, except
+the smallest one.
+"""
+
+from repro.experiments.fig11_lambda_memory import format_fig11, run_fig11
+
+
+def test_fig11_memory_scaling(benchmark, settings, report_sink):
+    result = benchmark.pedantic(
+        run_fig11, args=(settings,), kwargs={"invocations_per_config": 40}, rounds=1, iterations=1
+    )
+    report_sink.append(("Figure 11: terrain generation vs memory", format_fig11(result)))
+
+    # Mean latency decreases monotonically with memory.
+    means = [result.stats(memory).mean for memory in sorted(result.latency_samples_s)]
+    assert means == sorted(means, reverse=True)
+    assert result.stats(320).mean > 3.0
+    assert result.stats(10240).mean < 1.0
+
+    # Variability (IQR) is larger for the smallest configuration.
+    small = result.stats(320)
+    large = result.stats(10240)
+    assert (small.p75 - small.p25) > (large.p75 - large.p25)
+
+    # Performance-to-cost favours small memory configurations over large ones,
+    # with the smallest (320 MB) configuration no better than 512 MB.
+    ratios = result.performance_to_cost()
+    assert ratios[512] > ratios[2048] > ratios[10240]
+    assert ratios[320] <= ratios[512] * 1.05

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 12a — supported players under the S3 and S8 workloads.
+
+Paper: with players joining every ten seconds and walking away from spawn,
+Opencraft supports 12 (S3) and 9 (S8) players before its 95th-percentile tick
+duration exceeds 50 ms; Servo supports 18 and 15.  Expected shape: Servo
+sustains at least as many players as Opencraft, and the faster workload (S8)
+supports fewer players than S3 on both games.
+"""
+
+from repro.experiments.fig12_terrain_scalability import format_fig12a, run_fig12a
+
+
+def test_fig12a_supported_players_s3_s8(benchmark, settings, report_sink):
+    result = benchmark.pedantic(
+        run_fig12a,
+        args=(settings,),
+        kwargs={"players": 14, "join_interval_s": 4.0},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink.append(("Figure 12a: supported players (S3/S8)", format_fig12a(result)))
+
+    opencraft_s3 = result.runs[("opencraft", "S3")].supported_players
+    opencraft_s8 = result.runs[("opencraft", "S8")].supported_players
+    servo_s3 = result.runs[("servo", "S3")].supported_players
+    servo_s8 = result.runs[("servo", "S8")].supported_players
+
+    assert servo_s3 >= opencraft_s3
+    assert servo_s8 + 1 >= opencraft_s8
+    assert opencraft_s8 <= opencraft_s3
+    assert servo_s8 <= servo_s3
+    assert servo_s3 > 0

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 12b — supported players under the randomised workload R.
+
+Paper: over twenty repetitions of the randomised behaviour, Servo supports
+more players than Opencraft (median +17 %) with somewhat larger spread.
+Expected shape: Servo's median supported-player count is at least Opencraft's.
+"""
+
+from repro.experiments.fig12_terrain_scalability import format_fig12b, run_fig12b
+
+
+def test_fig12b_random_workload_supported_players(benchmark, settings, report_sink):
+    result = benchmark.pedantic(
+        run_fig12b,
+        args=(settings,),
+        kwargs={"players": 12, "join_interval_s": 4.0, "duration_s": 70.0},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink.append(("Figure 12b: supported players (R workload)", format_fig12b(result)))
+    assert result.median("servo") >= result.median("opencraft")
+    assert min(result.supported["servo"]) >= 0
+    assert len(result.supported["servo"]) == len(result.supported["opencraft"])

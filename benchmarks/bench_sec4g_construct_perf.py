@@ -1,0 +1,23 @@
+"""Benchmark: Section IV-G — speculative simulation rate by construct size.
+
+Paper: at least 95 % of 100-step offloaded simulations reach 488 updates/s for
+a 252-block construct and 105 updates/s for a 484-block construct — 24.4x and
+5.3x faster than the 20 Hz simulation rate.  Expected shape: both sizes
+simulate much faster than 20 Hz, and the smaller construct is several times
+faster than the larger one.
+"""
+
+from repro.experiments.sec4g_construct_perf import SIMULATION_RATE_HZ, format_sec4g, run_sec4g
+
+
+def test_sec4g_simulation_rates_by_construct_size(benchmark, settings, report_sink):
+    result = benchmark.pedantic(
+        run_sec4g, args=(settings,), kwargs={"samples_per_size": 30}, rounds=1, iterations=1
+    )
+    report_sink.append(("Section IV-G: construct simulation rates", format_sec4g(result)))
+
+    small = result.p5_rate(252)
+    medium = result.p5_rate(484)
+    assert small > 5 * SIMULATION_RATE_HZ
+    assert medium > 2 * SIMULATION_RATE_HZ
+    assert small > 2.5 * medium

@@ -1,0 +1,46 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at a reduced
+scale (shorter virtual durations, coarser sweeps) so the whole suite runs in
+minutes.  The printed report shows the same rows/series the paper reports;
+absolute values are not expected to match the authors' testbed, but the shape
+(who wins, by roughly what factor, where crossovers fall) should hold.  Set
+``REPRO_BENCH_SCALE=paper`` to run closer to paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import ExperimentSettings
+
+_QUICK = ExperimentSettings(
+    seed=42, duration_s=8.0, player_step=50, max_players=200, repetitions=2, latency_samples=1500
+)
+_PAPER = ExperimentSettings(
+    seed=42, duration_s=60.0, player_step=10, max_players=200, repetitions=20, latency_samples=15000
+)
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Benchmark-scale experiment settings (or paper scale when requested)."""
+    if os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "paper":
+        return _PAPER
+    return _QUICK
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects the formatted reports and prints them at the end of the session."""
+    reports: list[tuple[str, str]] = []
+    yield reports
+    if reports:
+        print("\n" + "=" * 78)
+        print("Reproduced tables and figures (reduced scale)")
+        print("=" * 78)
+        for title, text in reports:
+            print(f"\n--- {title} ---")
+            print(text)

@@ -1,0 +1,44 @@
+"""Quickstart: run a Servo server with a small construct workload.
+
+Builds a Servo game server (flat world, AWS provider), connects 20 emulated
+players, places 25 player-built constructs, runs 30 virtual seconds and prints
+the tick-duration statistics plus the serverless offloading summary.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import ServoConfig, build_servo_server
+from repro.server import GameConfig
+from repro.sim import SimulationEngine
+from repro.workload import Scenario
+
+
+def main() -> None:
+    engine = SimulationEngine(seed=7)
+    server = build_servo_server(
+        engine,
+        GameConfig(world_type="flat"),
+        ServoConfig(provider="aws", tick_lead=20, steps_per_invocation=100),
+    )
+
+    scenario = Scenario.behaviour_a(players=20, constructs=25, duration_s=30.0)
+    result = scenario.run(server)
+
+    stats = result.tick_stats()
+    print("Tick durations (ms)")
+    print(f"  median {stats.median:6.2f}   p95 {stats.p95:6.2f}   max {stats.maximum:6.2f}")
+    print(f"  ticks over the 50 ms budget: {100 * result.fraction_over_budget():.2f} %")
+    print(f"  QoS met (paper criterion, <5% over budget): {result.meets_qos()}")
+
+    runtime = server.servo
+    efficiency = engine.metrics.histogram("speculation_efficiency")
+    print("\nServerless offloading")
+    print(f"  function invocations:      {runtime.billing.invocation_count}")
+    print(f"  construct loops detected:  {engine.metrics.counter('loops_detected'):.0f}")
+    if len(efficiency):
+        print(f"  median speculation efficiency: {efficiency.percentile(50):.2f}")
+    print(f"  estimated cost per hour:   ${runtime.cost_per_hour_usd(engine.now_ms):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Compare the scalability of Opencraft, Minecraft and Servo (mini Figure 7).
+
+For a few construct counts, finds the maximum number of players each game
+supports (fewer than 5 % of ticks over the 50 ms budget) and prints the
+comparison table next to the paper's values.
+
+Run with:  python examples/scalability_comparison.py
+"""
+
+from repro.experiments import ExperimentSettings
+from repro.experiments.fig07_scalability import PAPER_FIG07A
+from repro.experiments.max_players import find_max_players
+from repro.experiments.harness import format_table
+
+
+def main() -> None:
+    settings = ExperimentSettings(duration_s=10.0, player_step=50, max_players=200)
+    construct_counts = (0, 100, 200)
+    games = ("opencraft", "minecraft", "servo")
+
+    rows = []
+    for game in games:
+        for constructs in construct_counts:
+            print(f"searching max players for {game} with {constructs} constructs ...")
+            search = find_max_players(game, constructs, settings)
+            paper = PAPER_FIG07A.get((game, constructs), "-")
+            rows.append([game, str(constructs), str(paper), str(search.max_players)])
+
+    print()
+    print(format_table(["game", "constructs", "paper max players", "measured (coarse)"], rows))
+    print("\nThe search uses a coarse 50-player grid to stay fast; run the")
+    print("fig07a benchmark (or lower ExperimentSettings.player_step) for finer results.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` on machines where PEP 517 editable builds
+are unavailable (e.g. offline hosts without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

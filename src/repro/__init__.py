@@ -1,0 +1,12 @@
+"""Reproduction of *Servo: Increasing the Scalability of Modifiable Virtual
+Environments Using Serverless Computing* (ICDCS 2023).
+
+The package is organised as a set of substrates (simulation kernel, voxel
+world, simulated constructs, FaaS platform, storage, game server, workloads)
+plus the paper's contribution in :mod:`repro.core` and an experiment harness in
+:mod:`repro.experiments`.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,16 @@
+"""Analysis helpers: statistics and paper-style reporting."""
+
+from repro.analysis.stats import (
+    icdf_points,
+    rolling_percentile,
+    summarize_distribution,
+)
+from repro.analysis.report import comparison_table, paper_vs_measured
+
+__all__ = [
+    "rolling_percentile",
+    "icdf_points",
+    "summarize_distribution",
+    "comparison_table",
+    "paper_vs_measured",
+]

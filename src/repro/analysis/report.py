@@ -1,0 +1,30 @@
+"""Paper-style report rendering."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.harness import format_table
+
+
+def comparison_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render arbitrary rows as a fixed-width table (strings coerced)."""
+    return format_table(list(headers), [[str(cell) for cell in row] for row in rows])
+
+
+def paper_vs_measured(
+    metric_name: str, values: Mapping[str, tuple[float, float]]
+) -> str:
+    """Render a paper-vs-measured table for one metric.
+
+    ``values`` maps a row label (e.g. a game name) to a (paper, measured)
+    pair.  The ratio column makes it easy to judge whether the *shape* of the
+    result holds even when absolute values differ.
+    """
+    rows = []
+    for label, (paper, measured) in values.items():
+        ratio = measured / paper if paper else float("nan")
+        rows.append([label, f"{paper:g}", f"{measured:g}", f"{ratio:.2f}"])
+    return format_table([metric_name, "paper", "measured", "measured/paper"], rows)

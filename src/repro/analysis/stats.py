@@ -1,0 +1,75 @@
+"""Statistics helpers built on top of :mod:`repro.sim.metrics`.
+
+These helpers are used by the experiment formatters and the benchmark reports:
+rolling percentiles over time series (the paper's 2.5-second bands), inverse
+CDF points (Figure 13) and compact distribution summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.metrics import BoxplotStats, boxplot_stats, inverse_cdf
+
+
+def rolling_percentile(
+    times_ms: Sequence[float],
+    values: Sequence[float],
+    q: float,
+    window_ms: float = 2500.0,
+    step_ms: float | None = None,
+) -> list[tuple[float, float]]:
+    """Rolling ``q``-th percentile over fixed-width time windows.
+
+    Returns (window centre time, percentile) pairs; windows without samples
+    are skipped.
+    """
+    if len(times_ms) != len(values):
+        raise ValueError("times and values must have the same length")
+    if not times_ms:
+        return []
+    step = float(step_ms if step_ms is not None else window_ms)
+    times = np.asarray(times_ms, dtype=float)
+    data = np.asarray(values, dtype=float)
+    out: list[tuple[float, float]] = []
+    t = float(times.min())
+    end = float(times.max())
+    while t <= end + 1e-9:
+        mask = (times >= t) & (times < t + window_ms)
+        if mask.any():
+            out.append((t + window_ms / 2.0, float(np.percentile(data[mask], q))))
+        t += step
+    return out
+
+
+def icdf_points(samples: Iterable[float], thresholds: Iterable[float]) -> list[tuple[float, float]]:
+    """Inverse CDF points (latency, fraction of samples at or above it)."""
+    return inverse_cdf(samples, thresholds)
+
+
+def summarize_distribution(samples: Iterable[float]) -> BoxplotStats:
+    """The standard boxplot summary used across the experiments."""
+    return boxplot_stats(samples)
+
+
+def crossing_time(
+    series: Sequence[tuple[float, float]], threshold: float, sustained_points: int = 2
+) -> float | None:
+    """The first time a series stays above ``threshold`` for ``sustained_points`` samples.
+
+    Returns None if the series never crosses.  Used to find when a rolling
+    percentile first exceeds the 50 ms budget (Figure 12a).
+    """
+    if sustained_points < 1:
+        raise ValueError("sustained_points must be at least 1")
+    run = 0
+    for time, value in series:
+        if value > threshold:
+            run += 1
+            if run >= sustained_points:
+                return time
+        else:
+            run = 0
+    return None

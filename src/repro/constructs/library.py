@@ -1,0 +1,136 @@
+"""Library of construct builders.
+
+These factories build the constructs the experiments use: periodic clocks and
+torch oscillators (exercising loop detection), wire lines and lamp grids
+(signal propagation), hopper farms (monotonically counting constructs that do
+*not* loop), and the ~252-block and ~484-block constructs of Section IV-G.
+"""
+
+from __future__ import annotations
+
+from repro.constructs.circuit import Cell, SimulatedConstruct
+from repro.constructs.components import ComponentType
+from repro.world.coords import BlockPos
+
+
+def build_clock(period: int = 8, origin: BlockPos = BlockPos(0, 64, 0), lamps: int = 2) -> SimulatedConstruct:
+    """A clock driving a short wire and ``lamps`` lamps: loops with the clock period."""
+    if period < 2:
+        raise ValueError("clock period must be at least 2")
+    cells = [Cell(origin, ComponentType.CLOCK, properties={"period": int(period)})]
+    for i in range(1, lamps + 1):
+        cells.append(Cell(origin.offset(dx=i), ComponentType.WIRE))
+    for i in range(lamps):
+        cells.append(Cell(origin.offset(dx=i + 1, dz=1), ComponentType.LAMP))
+    return SimulatedConstruct(cells, name=f"clock-{period}")
+
+
+def build_oscillator(origin: BlockPos = BlockPos(0, 64, 0)) -> SimulatedConstruct:
+    """Two torches feeding each other through wires: a classic 4-step oscillator."""
+    cells = [
+        Cell(origin, ComponentType.TORCH, state=15),
+        Cell(origin.offset(dx=1), ComponentType.WIRE),
+        Cell(origin.offset(dx=2), ComponentType.TORCH),
+        Cell(origin.offset(dx=2, dz=1), ComponentType.WIRE),
+        Cell(origin.offset(dx=1, dz=1), ComponentType.LAMP),
+    ]
+    return SimulatedConstruct(cells, name="oscillator")
+
+
+def build_wire_line(length: int, origin: BlockPos = BlockPos(0, 64, 0), powered: bool = True) -> SimulatedConstruct:
+    """A power source feeding a straight line of ``length`` wires ending in a lamp."""
+    if length < 1:
+        raise ValueError("wire line length must be at least 1")
+    source = ComponentType.POWER_SOURCE if powered else ComponentType.LEVER
+    cells = [Cell(origin, source)]
+    for i in range(1, length + 1):
+        cells.append(Cell(origin.offset(dx=i), ComponentType.WIRE))
+    cells.append(Cell(origin.offset(dx=length + 1), ComponentType.LAMP))
+    return SimulatedConstruct(cells, name=f"wire-line-{length}")
+
+
+def build_lamp_grid(width: int, depth: int, origin: BlockPos = BlockPos(0, 64, 0)) -> SimulatedConstruct:
+    """A clock powering a serpentine wire that threads a ``width x depth`` lamp grid."""
+    if width < 1 or depth < 1:
+        raise ValueError("lamp grid dimensions must be positive")
+    cells = [Cell(origin, ComponentType.CLOCK, properties={"period": 8})]
+    for row in range(depth):
+        for col in range(1, width + 1):
+            x = col if row % 2 == 0 else width + 1 - col
+            cells.append(Cell(origin.offset(dx=x, dz=row), ComponentType.WIRE))
+        for col in range(1, width + 1):
+            cells.append(Cell(origin.offset(dx=col, dz=row, dy=1), ComponentType.LAMP))
+    return SimulatedConstruct(cells, name=f"lamp-grid-{width}x{depth}")
+
+
+def build_counter_farm(hoppers: int = 4, origin: BlockPos = BlockPos(0, 64, 0)) -> SimulatedConstruct:
+    """A clock driving ``hoppers`` hoppers: a resource farm whose state never loops.
+
+    Because the hoppers count activations, the construct's state sequence is
+    aperiodic, which is the case the loop detector must *not* truncate.
+    """
+    if hoppers < 1:
+        raise ValueError("a counter farm needs at least one hopper")
+    cells = [Cell(origin, ComponentType.CLOCK, properties={"period": 4})]
+    for i in range(1, hoppers + 1):
+        cells.append(Cell(origin.offset(dx=i), ComponentType.WIRE))
+        cells.append(Cell(origin.offset(dx=i, dz=1), ComponentType.HOPPER))
+    return SimulatedConstruct(cells, name=f"counter-farm-{hoppers}")
+
+
+def build_sized_construct(
+    target_blocks: int, origin: BlockPos = BlockPos(0, 64, 0), looping: bool = True
+) -> SimulatedConstruct:
+    """A construct of approximately ``target_blocks`` stateful blocks.
+
+    Used for the Section IV-G experiment, which measures speculative
+    simulation rates for constructs of 252 and 484 blocks.  The construct is a
+    clock-driven serpentine of wires with a lamp row: it is periodic, spans
+    multiple chunks for large sizes, and its per-step cost grows with the
+    block count.  With ``looping=False`` one cell is a hopper (an activation
+    counter), which makes the state sequence aperiodic — the case the loop
+    detector must not truncate, used by the latency-hiding experiments.
+    """
+    if target_blocks < 4:
+        raise ValueError("sized constructs need at least 4 blocks")
+    # Layout: 1 clock + rows of (width wires + width lamps).  Choose a roughly
+    # square footprint.
+    width = max(2, int(round((target_blocks / 2) ** 0.5)))
+    cells = [Cell(origin, ComponentType.CLOCK, properties={"period": 16})]
+    placed = 1
+    row = 0
+    while placed < target_blocks:
+        for col in range(1, width + 1):
+            if placed >= target_blocks:
+                break
+            x = col if row % 2 == 0 else width + 1 - col
+            cells.append(Cell(origin.offset(dx=x, dz=row), ComponentType.WIRE))
+            placed += 1
+            if placed >= target_blocks:
+                break
+            cells.append(Cell(origin.offset(dx=x, dz=row, dy=1), ComponentType.LAMP))
+            placed += 1
+        row += 1
+    if not looping:
+        # Replace the first wire's neighbour lamp with a hopper so the state
+        # sequence counts activations and never repeats.
+        for index, cell in enumerate(cells):
+            if cell.component is ComponentType.LAMP:
+                cells[index] = Cell(cell.position, ComponentType.HOPPER)
+                break
+    suffix = "" if looping else "-aperiodic"
+    return SimulatedConstruct(cells, name=f"sized-{target_blocks}{suffix}")
+
+
+def standard_construct(index: int, origin: BlockPos | None = None) -> SimulatedConstruct:
+    """The construct used by the scalability workloads (Figures 1 and 7).
+
+    Every construct in those experiments is a medium clock-driven circuit;
+    ``index`` spreads them over the world so each lands in its own area.
+    """
+    if origin is None:
+        spacing = 48
+        origin = BlockPos((index % 16) * spacing, 64, (index // 16) * spacing)
+    construct = build_lamp_grid(width=6, depth=4, origin=origin)
+    construct.name = f"workload-sc-{index}"
+    return construct

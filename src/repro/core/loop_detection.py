@@ -1,0 +1,117 @@
+"""Loop detection for offloaded construct simulation.
+
+Many player-built constructs loop through a fixed list of states indefinitely
+(clocks, lamps on timers, some farms).  Simulating such a construct remotely
+over and over wastes money, so Servo's offload function hashes every produced
+state; when a state repeats, the function truncates the result to one period
+of the loop plus an index, and the server can replay the loop forever without
+invoking the function again (Section III-C1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.constructs.state import ConstructState
+
+
+@dataclass
+class CompressedStateSequence:
+    """A state sequence, possibly truncated to a prefix plus a repeating loop.
+
+    ``start_step`` is the construct step *before* the first state in
+    ``prefix`` (i.e. ``prefix[0]`` is the state after step ``start_step + 1``).
+    If ``loop_states`` is non-empty, the sequence continues forever by
+    repeating ``loop_states`` after the prefix.
+    """
+
+    start_step: int
+    prefix: list[ConstructState] = field(default_factory=list)
+    loop_states: list[ConstructState] = field(default_factory=list)
+
+    @property
+    def is_looping(self) -> bool:
+        return bool(self.loop_states)
+
+    @property
+    def explicit_length(self) -> int:
+        """Number of explicitly stored states."""
+        return len(self.prefix) + len(self.loop_states)
+
+    def covers(self, step: int) -> bool:
+        """True if the sequence can produce the state after ``step`` steps."""
+        if step <= self.start_step:
+            return False
+        if self.is_looping:
+            return True
+        return step <= self.start_step + len(self.prefix)
+
+    def raw_state_at(self, step: int) -> ConstructState:
+        """The stored snapshot for ``step`` without re-stamping its step counter.
+
+        This avoids copying the state mapping; callers that need the correct
+        absolute step (e.g. :meth:`state_at`) re-stamp it themselves.
+        """
+        if not self.covers(step):
+            raise KeyError(
+                f"sequence starting at {self.start_step} does not cover step {step}"
+            )
+        offset = step - self.start_step - 1
+        if offset < len(self.prefix):
+            return self.prefix[offset]
+        loop_offset = (offset - len(self.prefix)) % len(self.loop_states)
+        return self.loop_states[loop_offset]
+
+    def state_at(self, step: int) -> ConstructState:
+        """The construct state after ``step`` total steps."""
+        snapshot = self.raw_state_at(step)
+        # Re-stamp the snapshot with the absolute step so applying it keeps the
+        # construct's step counter correct.
+        return ConstructState(step=step, states=snapshot.states)
+
+
+class LoopDetector:
+    """Detects state cycles in a stream of construct states."""
+
+    def __init__(self) -> None:
+        self._seen: dict[str, int] = {}
+        self._states: list[ConstructState] = []
+
+    def observe(self, state: ConstructState) -> Optional[int]:
+        """Record a state; returns the index of the earlier identical state if this one repeats."""
+        digest = state.digest()
+        if digest in self._seen:
+            return self._seen[digest]
+        self._seen[digest] = len(self._states)
+        self._states.append(state)
+        return None
+
+    @property
+    def observed_states(self) -> list[ConstructState]:
+        return list(self._states)
+
+    def compress(self, start_step: int) -> CompressedStateSequence:
+        """Compress the observed states, using the last observation's loop if any."""
+        return CompressedStateSequence(start_step=start_step, prefix=list(self._states))
+
+
+def compress_trace(
+    start_step: int, states: list[ConstructState]
+) -> CompressedStateSequence:
+    """Compress a simulated state sequence by detecting a repeated state.
+
+    If state ``i`` reappears at position ``j`` (``j > i``), everything from
+    ``i`` onwards forms the repeating loop: the prefix is ``states[:i]`` and
+    the loop is ``states[i:j]``.
+    """
+    detector = LoopDetector()
+    for index, state in enumerate(states):
+        repeat_of = detector.observe(state)
+        if repeat_of is not None:
+            return CompressedStateSequence(
+                start_step=start_step,
+                prefix=list(states[:repeat_of]),
+                loop_states=list(states[repeat_of:index]),
+            )
+    return CompressedStateSequence(start_step=start_step, prefix=list(states))

@@ -1,0 +1,284 @@
+"""Construct offloading: requests, replies and the remote simulation function.
+
+An offload request carries the construct's current state, the number of steps
+to simulate and the logical timestamp of the last player modification.  The
+function simulates the requested steps (optionally compressing a detected
+loop) and echoes the timestamp so the server can discard replies that were
+computed from a state the player has since modified (Section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.constructs.circuit import Cell, SimulatedConstruct
+from repro.constructs.components import ComponentType
+from repro.constructs.simulator import ConstructSimulator
+from repro.constructs.state import state_hash
+from repro.core.loop_detection import CompressedStateSequence, compress_trace
+from repro.faas.function import FunctionOutput
+from repro.world.coords import BlockPos
+
+#: name under which the construct-simulation function is deployed
+SC_SIMULATION_FUNCTION = "servo-simulate-construct"
+
+# Calibration of the per-step compute cost inside the function, fitted to the
+# Section IV-G measurements: a 252-block construct simulates ~488 steps/s and a
+# 484-block construct ~105 steps/s on one Lambda vCPU, i.e. the per-step time
+# grows roughly as blocks^2.35 (block interactions dominate).
+_PER_STEP_COEFFICIENT_MS = 4.7e-6
+_PER_STEP_EXPONENT = 2.35
+#: fixed in-function overhead per invocation (runtime, deserialisation), ms
+_INVOCATION_OVERHEAD_WORK_MS = 40.0
+
+
+def simulation_work_ms(block_count: int, steps: int) -> float:
+    """Single-vCPU work (ms) of simulating ``steps`` steps of a construct."""
+    if block_count < 1:
+        raise ValueError("block_count must be positive")
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    per_step = _PER_STEP_COEFFICIENT_MS * block_count ** _PER_STEP_EXPONENT
+    return _INVOCATION_OVERHEAD_WORK_MS + per_step * steps
+
+
+@dataclass(frozen=True)
+class OffloadRequest:
+    """The payload of one construct-simulation invocation."""
+
+    construct_id: int
+    #: structural description: (dx, dy, dz, component value, properties) per cell
+    structure: tuple[tuple[int, int, int, str, tuple], ...]
+    #: absolute positions matching the structure entries
+    positions: tuple[tuple[int, int, int], ...]
+    #: current cell states keyed by position tuple
+    states: Mapping[tuple[int, int, int], int]
+    #: construct step counter at request time
+    start_step: int
+    #: steps to simulate
+    steps: int
+    #: logical timestamp (modification counter) at request time
+    timestamp: int
+    #: whether the function should compress detected loops
+    detect_loops: bool = True
+
+    @staticmethod
+    def from_construct(
+        construct: SimulatedConstruct, steps: int, detect_loops: bool = True
+    ) -> "OffloadRequest":
+        anchor = construct.anchor()
+        structure = []
+        positions = []
+        states = {}
+        for cell in construct.cells:
+            structure.append(
+                (
+                    cell.position.x - anchor.x,
+                    cell.position.y - anchor.y,
+                    cell.position.z - anchor.z,
+                    cell.component.value,
+                    tuple(sorted(cell.properties.items())),
+                )
+            )
+            positions.append((cell.position.x, cell.position.y, cell.position.z))
+            states[(cell.position.x, cell.position.y, cell.position.z)] = cell.state
+        return OffloadRequest(
+            construct_id=construct.construct_id,
+            structure=tuple(structure),
+            positions=tuple(positions),
+            states=states,
+            start_step=construct.step,
+            steps=int(steps),
+            timestamp=construct.modification_counter,
+            detect_loops=detect_loops,
+        )
+
+    def rebuild_construct(self) -> SimulatedConstruct:
+        """Reconstruct the construct inside the function from the request payload."""
+        cells = []
+        for (x, y, z), (dx, dy, dz, component_value, properties) in zip(
+            self.positions, self.structure
+        ):
+            cells.append(
+                Cell(
+                    position=BlockPos(x, y, z),
+                    component=ComponentType(component_value),
+                    state=int(self.states[(x, y, z)]),
+                    properties=dict(properties),
+                )
+            )
+        construct = SimulatedConstruct(cells, construct_id=self.construct_id)
+        construct.step = self.start_step
+        return construct
+
+    def anchor(self) -> tuple[int, int, int]:
+        """The world position of the construct's anchor (minimum corner)."""
+        (x, y, z) = self.positions[0]
+        (dx, dy, dz, _, _) = self.structure[0]
+        return (x - dx, y - dy, z - dz)
+
+    def relative_states(self) -> dict[BlockPos, int]:
+        """Cell states keyed by anchor-relative positions."""
+        ax, ay, az = self.anchor()
+        return {
+            BlockPos(x - ax, y - ay, z - az): int(value)
+            for (x, y, z), value in self.states.items()
+        }
+
+    def cache_key(self) -> tuple:
+        """A memoisation key in anchor-relative coordinates.
+
+        Structurally identical constructs in the same state produce identical
+        simulations regardless of where they sit in the world, so their
+        requests share one cache entry; the cached (relative) reply is
+        translated back to each construct's absolute positions.
+        """
+        return (
+            self.structure,
+            state_hash(self.relative_states()),
+            self.start_step,
+            self.steps,
+            self.detect_loops,
+        )
+
+
+@dataclass(frozen=True)
+class OffloadReply:
+    """The result of one construct-simulation invocation."""
+
+    construct_id: int
+    #: echoed logical timestamp; the server discards the reply if it is stale
+    timestamp: int
+    sequence: CompressedStateSequence
+    #: how many steps were actually simulated inside the function
+    simulated_steps: int
+    loop_detected: bool = False
+
+
+@dataclass
+class _HandlerCache:
+    """Bounded memoisation of identical simulation requests."""
+
+    capacity: int = 512
+    entries: dict = field(default_factory=dict)
+    order: list = field(default_factory=list)
+
+    def get(self, key):
+        return self.entries.get(key)
+
+    def put(self, key, value) -> None:
+        if key in self.entries:
+            return
+        self.entries[key] = value
+        self.order.append(key)
+        while len(self.order) > self.capacity:
+            oldest = self.order.pop(0)
+            self.entries.pop(oldest, None)
+
+
+def _build_canonical_construct(payload: OffloadRequest) -> SimulatedConstruct:
+    """Rebuild the construct in anchor-relative coordinates."""
+    relative_states = payload.relative_states()
+    cells = []
+    for (dx, dy, dz, component_value, properties) in payload.structure:
+        position = BlockPos(dx, dy, dz)
+        cells.append(
+            Cell(
+                position=position,
+                component=ComponentType(component_value),
+                state=relative_states[position],
+                properties=dict(properties),
+            )
+        )
+    construct = SimulatedConstruct(cells, construct_id=payload.construct_id)
+    construct.step = payload.start_step
+    return construct
+
+
+def _translate_sequence(
+    sequence: CompressedStateSequence, anchor: tuple[int, int, int]
+) -> CompressedStateSequence:
+    """Translate a relative-coordinate state sequence to absolute world positions."""
+    ax, ay, az = anchor
+
+    def translate_states(states: list) -> list:
+        return [
+            type(state)(
+                step=state.step,
+                states={
+                    BlockPos(pos.x + ax, pos.y + ay, pos.z + az): value
+                    for pos, value in state.states.items()
+                },
+            )
+            for state in states
+        ]
+
+    return CompressedStateSequence(
+        start_step=sequence.start_step,
+        prefix=translate_states(sequence.prefix),
+        loop_states=translate_states(sequence.loop_states),
+    )
+
+
+def make_simulation_handler(cache_capacity: int = 512):
+    """Create the FaaS handler that simulates constructs speculatively.
+
+    The handler is a pure function of its request: it rebuilds the construct,
+    simulates the requested number of steps (stopping early if loop detection
+    finds a repeating state, the paper's cost optimisation), and reports the
+    single-vCPU work the simulation represents.  Simulation happens in
+    anchor-relative coordinates and identical requests are memoised — their
+    replies are identical up to translation — which keeps large experiments
+    fast without changing behaviour.
+    """
+    simulator = ConstructSimulator()
+    cache = _HandlerCache(capacity=cache_capacity)
+
+    def handler(payload: OffloadRequest) -> FunctionOutput:
+        if not isinstance(payload, OffloadRequest):
+            raise TypeError(f"expected OffloadRequest, got {type(payload)!r}")
+
+        key = payload.cache_key()
+        cached = cache.get(key)
+        if cached is None:
+            construct = _build_canonical_construct(payload)
+            states = []
+            relative_sequence = None
+            seen: dict[str, int] = {}
+            steps_executed = 0
+            for index in range(payload.steps):
+                state = simulator.step(construct)
+                steps_executed += 1
+                if payload.detect_loops:
+                    digest = state.digest()
+                    repeat_of = seen.get(digest)
+                    if repeat_of is not None:
+                        relative_sequence = CompressedStateSequence(
+                            start_step=payload.start_step,
+                            prefix=list(states[:repeat_of]),
+                            loop_states=list(states[repeat_of:]),
+                        )
+                        break
+                    seen[digest] = index
+                states.append(state)
+            if relative_sequence is None:
+                relative_sequence = CompressedStateSequence(
+                    start_step=payload.start_step, prefix=list(states)
+                )
+            work_ms = simulation_work_ms(len(payload.structure), steps_executed)
+            cached = (relative_sequence, steps_executed, work_ms)
+            cache.put(key, cached)
+
+        relative_sequence, steps_executed, work_ms = cached
+        sequence = _translate_sequence(relative_sequence, payload.anchor())
+        reply = OffloadReply(
+            construct_id=payload.construct_id,
+            timestamp=payload.timestamp,
+            sequence=sequence,
+            simulated_steps=steps_executed,
+            loop_detected=sequence.is_looping,
+        )
+        return FunctionOutput(value=reply, work_ms_single_vcpu=work_ms)
+
+    return handler

@@ -1,0 +1,151 @@
+"""Assembly of a Servo game server.
+
+``build_servo_server`` wires the serverless services into the unmodified game
+server: the speculative construct backend, the serverless terrain provider and
+the cached remote storage service, all running against one simulated FaaS
+platform and blob store of the chosen provider.  The returned server exposes
+the attached services through its ``servo`` attribute (a
+:class:`ServoRuntime`) so experiments can inspect invocations, billing, cache
+statistics and speculation records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ServoConfig
+from repro.core.offload import SC_SIMULATION_FUNCTION, make_simulation_handler
+from repro.core.speculative import SpeculativeConstructBackend
+from repro.core.storage_service import ServoStorageService
+from repro.core.terrain_service import (
+    TERRAIN_GENERATION_FUNCTION,
+    ServerlessTerrainProvider,
+    make_terrain_handler,
+)
+from repro.faas.function import FunctionDefinition
+from repro.faas.platform import FaasPlatform
+from repro.faas.providers import provider_by_name
+from repro.server.chunkmanager import ChunkManager
+from repro.server.config import GameConfig
+from repro.server.costmodel import SERVO_COST_MODEL
+from repro.server.gameloop import GameServer
+from repro.sim.engine import SimulationEngine
+from repro.storage.blob import AWS_S3_STANDARD, AZURE_BLOB_STANDARD, BlobStorage
+from repro.world.terrain import make_terrain_generator
+from repro.world.world import VoxelWorld
+
+
+@dataclass
+class ServoRuntime:
+    """Handles to the serverless services attached to a Servo server."""
+
+    config: ServoConfig
+    platform: FaasPlatform
+    storage: ServoStorageService
+    construct_backend: SpeculativeConstructBackend
+    terrain_provider: ServerlessTerrainProvider
+
+    @property
+    def billing(self):
+        return self.platform.billing
+
+    def cost_per_hour_usd(self, window_ms: float) -> float:
+        """Servo's serverless cost extrapolated to one hour of operation."""
+        return self.platform.billing.cost_per_hour_usd(window_ms)
+
+
+def build_servo_server(
+    engine: SimulationEngine,
+    game_config: GameConfig | None = None,
+    servo_config: ServoConfig | None = None,
+) -> GameServer:
+    """Build a game server running the Servo serverless backend.
+
+    The server keeps the 20 Hz loop and client protocol of the baselines
+    (Requirement R4); only the backend services change.
+    """
+    game_config = game_config or GameConfig()
+    servo_config = servo_config or ServoConfig()
+
+    provider = provider_by_name(servo_config.provider)
+    platform = FaasPlatform(engine, provider=provider)
+
+    # Deploy the two Servo functions.
+    platform.register(
+        FunctionDefinition(
+            name=SC_SIMULATION_FUNCTION,
+            handler=make_simulation_handler(),
+            memory_mb=servo_config.simulation_function_memory_mb,
+            description="speculative simulation of one simulated construct",
+        )
+    )
+    platform.register(
+        FunctionDefinition(
+            name=TERRAIN_GENERATION_FUNCTION,
+            handler=make_terrain_handler(),
+            memory_mb=servo_config.terrain_function_memory_mb,
+            description="procedural generation of one terrain chunk",
+        )
+    )
+
+    # Remote state storage with the Servo cache and prefetcher in front.
+    blob_profile = AWS_S3_STANDARD if servo_config.provider == "aws" else AZURE_BLOB_STANDARD
+    blob = BlobStorage(rng=engine.rng("servo-blob"), profile=blob_profile)
+    storage = ServoStorageService(
+        engine=engine,
+        remote=blob,
+        view_distance_blocks=game_config.view_distance_blocks,
+        prefetch_margin_blocks=servo_config.prefetch_margin_blocks,
+        cache_capacity_objects=servo_config.cache_capacity_objects,
+        enable_cache=servo_config.enable_cache,
+    )
+
+    generator = make_terrain_generator(game_config.world_type, seed=game_config.world_seed)
+    world = VoxelWorld()
+    terrain_provider = ServerlessTerrainProvider(
+        engine=engine,
+        platform=platform,
+        world_type=game_config.world_type,
+        seed=game_config.world_seed,
+    )
+    chunk_manager = ChunkManager(
+        engine=engine,
+        world=world,
+        generator=generator,
+        provider=terrain_provider,
+        storage=storage,
+        view_distance_blocks=game_config.view_distance_blocks,
+        max_integrations_per_tick=game_config.max_chunk_integrations_per_tick,
+    )
+    construct_backend = SpeculativeConstructBackend(
+        engine=engine, platform=platform, config=servo_config
+    )
+
+    server = GameServer(
+        engine=engine,
+        config=game_config,
+        world=world,
+        chunk_manager=chunk_manager,
+        construct_backend=construct_backend,
+        cost_model=SERVO_COST_MODEL,
+        storage=storage,
+        name="servo",
+    )
+    server.servo = ServoRuntime(  # type: ignore[attr-defined]
+        config=servo_config,
+        platform=platform,
+        storage=storage,
+        construct_backend=construct_backend,
+        terrain_provider=terrain_provider,
+    )
+
+    # The prefetcher runs periodically, off the latency-critical path.
+    def prefetch_hook(tick_index: int) -> None:
+        if tick_index % servo_config.prefetch_interval_ticks == 0:
+            storage.prefetch_for_avatars(
+                [session.avatar for session in server.sessions.values()]
+            )
+
+    if servo_config.enable_cache:
+        server.pre_tick_hooks.append(prefetch_hook)
+    return server

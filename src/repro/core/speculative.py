@@ -1,0 +1,288 @@
+"""Replicated speculative execution of simulated constructs.
+
+This is Servo's construct backend (Section III-C).  For every construct it
+keeps at most one offload invocation in flight plus the speculative state
+sequences received so far:
+
+* Each game tick, if a valid speculative state for the construct's next step
+  is available (the reply has arrived, in virtual time, and its logical
+  timestamp matches the construct's modification counter), the backend applies
+  it — the *merge* path, which is cheap for the game loop.
+* Otherwise the backend simulates the step locally — the *fallback* path that
+  hides function latency (including cold starts) from players.
+* A new invocation is issued ``tick_lead`` ticks before the remaining coverage
+  runs out, so with a sufficient lead the reply is always there in time and
+  the fallback path is never needed (the paper's 100 % efficiency result).
+* If the offload function detected a state loop, the sequence covers every
+  future step and no further invocations are needed until a player modifies
+  the construct (the cost optimisation of Section III-C1).
+
+Efficiency is accounted per invocation exactly as the paper defines it: the
+fraction of the requested steps that did *not* have to be recomputed locally
+because the reply arrived too late.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.constructs.circuit import SimulatedConstruct
+from repro.constructs.simulator import ConstructSimulator, clone_construct
+from repro.core.config import ServoConfig
+from repro.core.loop_detection import CompressedStateSequence
+from repro.core.offload import SC_SIMULATION_FUNCTION, OffloadReply, OffloadRequest
+from repro.faas.function import Invocation
+from repro.faas.platform import FaasPlatform
+from repro.server.sc_engine import ConstructBackend, ConstructTickReport
+from repro.sim.engine import SimulationEngine
+from repro.world.coords import BlockPos
+
+#: sentinel coverage for looping sequences (they cover every future step)
+_UNBOUNDED_COVERAGE = 10 ** 9
+
+
+@dataclass
+class _PendingInvocation:
+    """An offload invocation whose reply has not been consumed yet."""
+
+    invocation: Invocation
+    request: OffloadRequest
+    #: steps inside the request's range the server had to compute locally
+    locally_computed: int = 0
+
+    @property
+    def first_step(self) -> int:
+        return self.request.start_step + 1
+
+    @property
+    def last_step(self) -> int:
+        return self.request.start_step + self.request.steps
+
+    def covers(self, step: int) -> bool:
+        return self.first_step <= step <= self.last_step
+
+
+@dataclass
+class _AvailableSequence:
+    """A speculative sequence the server has received and may still use."""
+
+    sequence: CompressedStateSequence
+    timestamp: int
+    last_step: int
+
+    def covers(self, step: int) -> bool:
+        if self.sequence.is_looping:
+            return self.sequence.covers(step)
+        return self.sequence.covers(step) and step <= self.last_step
+
+
+@dataclass
+class SpeculationRecord:
+    """Per-construct speculation state."""
+
+    construct_id: int
+    available: list[_AvailableSequence] = field(default_factory=list)
+    pending: Optional[_PendingInvocation] = None
+    invocations_issued: int = 0
+    merged_steps: int = 0
+    fallback_steps: int = 0
+
+    def valid_sequences(self, construct: SimulatedConstruct) -> list[_AvailableSequence]:
+        return [
+            entry
+            for entry in self.available
+            if entry.timestamp == construct.modification_counter
+        ]
+
+    def coverage_end(self, construct: SimulatedConstruct) -> int:
+        """The last step any valid sequence covers (construct.step when none do)."""
+        end = construct.step
+        for entry in self.valid_sequences(construct):
+            if entry.sequence.is_looping:
+                return _UNBOUNDED_COVERAGE
+            end = max(end, entry.last_step)
+        return end
+
+    def sequence_for(
+        self, construct: SimulatedConstruct, step: int
+    ) -> Optional[_AvailableSequence]:
+        for entry in self.valid_sequences(construct):
+            if entry.covers(step):
+                return entry
+        return None
+
+    def drop_exhausted(self, construct: SimulatedConstruct) -> None:
+        """Forget sequences that can no longer produce a useful state."""
+        self.available = [
+            entry
+            for entry in self.available
+            if entry.timestamp == construct.modification_counter
+            and (entry.sequence.is_looping or entry.last_step > construct.step)
+        ]
+
+
+class SpeculativeConstructBackend(ConstructBackend):
+    """Servo's construct backend: offload to FaaS, merge speculative states."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        platform: FaasPlatform,
+        config: ServoConfig | None = None,
+        function_name: str = SC_SIMULATION_FUNCTION,
+    ) -> None:
+        self.engine = engine
+        self.platform = platform
+        self.config = config or ServoConfig()
+        self.function_name = function_name
+        self._constructs: dict[int, SimulatedConstruct] = {}
+        self._records: dict[int, SpeculationRecord] = {}
+        self._simulator = ConstructSimulator()
+        self.metrics = engine.metrics
+
+    # -- registry -------------------------------------------------------------------
+
+    def register_construct(self, construct: SimulatedConstruct) -> None:
+        self._constructs[construct.construct_id] = construct
+        self._records[construct.construct_id] = SpeculationRecord(
+            construct_id=construct.construct_id
+        )
+        # The paper starts server-side and remote simulation simultaneously
+        # when a construct is activated; issue the first invocation right away.
+        self._issue_invocation(self._records[construct.construct_id], construct)
+
+    def remove_construct(self, construct_id: int) -> None:
+        self._constructs.pop(construct_id, None)
+        self._records.pop(construct_id, None)
+
+    def constructs(self) -> list[SimulatedConstruct]:
+        return [self._constructs[key] for key in sorted(self._constructs)]
+
+    def on_player_modify(self, construct_id: int, position: BlockPos) -> None:
+        construct = self._constructs.get(construct_id)
+        if construct is None:
+            return
+        construct.player_modify(position)
+        record = self._records[construct_id]
+        # Every stored sequence is now stale; the timestamp check would reject
+        # them anyway, but dropping them eagerly frees memory.
+        record.available.clear()
+        self.metrics.increment("speculation_invalidated")
+
+    # -- speculation plumbing ----------------------------------------------------------
+
+    def _issue_invocation(
+        self, record: SpeculationRecord, construct: SimulatedConstruct
+    ) -> None:
+        """Send the next offload request for this construct (at most one in flight)."""
+        if record.pending is not None:
+            return
+        coverage_end = record.coverage_end(construct)
+        if coverage_end >= _UNBOUNDED_COVERAGE:
+            return  # a looping sequence covers everything; no more invocations
+
+        if coverage_end > construct.step:
+            # Speculate onwards from the end of the current coverage.
+            entry = record.sequence_for(construct, coverage_end)
+            source = clone_construct(construct)
+            source.apply_state(entry.sequence.state_at(coverage_end))
+        else:
+            source = construct
+
+        request = OffloadRequest.from_construct(
+            source,
+            steps=self.config.steps_per_invocation,
+            detect_loops=self.config.enable_loop_detection,
+        )
+        invocation = self.platform.invoke(self.function_name, request)
+        record.pending = _PendingInvocation(invocation=invocation, request=request)
+        record.invocations_issued += 1
+        self.metrics.increment("offload_invocations")
+        self.metrics.histogram("offload_latency_ms").record(invocation.latency_ms)
+
+    def _promote_pending(
+        self, record: SpeculationRecord, construct: SimulatedConstruct, now_ms: float
+    ) -> None:
+        """Consume a pending invocation whose reply has arrived (in virtual time)."""
+        pending = record.pending
+        if pending is None or pending.invocation.completed_ms > now_ms:
+            return
+        record.pending = None
+        reply = pending.invocation.result
+        if pending.invocation.timed_out or not isinstance(reply, OffloadReply):
+            self.metrics.increment("offload_failures")
+            return
+
+        efficiency = (
+            (pending.request.steps - pending.locally_computed) / pending.request.steps
+            if pending.request.steps > 0
+            else 1.0
+        )
+        self.metrics.histogram("speculation_efficiency").record(max(0.0, efficiency))
+
+        if reply.timestamp != construct.modification_counter:
+            # The player modified the construct after the request was sent; the
+            # speculative states are inconsistent with the new correct state.
+            self.metrics.increment("speculation_discarded")
+            return
+        if reply.loop_detected:
+            self.metrics.increment("loops_detected")
+        record.available.append(
+            _AvailableSequence(
+                sequence=reply.sequence,
+                timestamp=reply.timestamp,
+                last_step=reply.sequence.start_step + len(reply.sequence.prefix),
+            )
+        )
+
+    # -- the per-tick work ----------------------------------------------------------------
+
+    def tick(self, tick_index: int) -> ConstructTickReport:
+        report = ConstructTickReport(
+            total_constructs=len(self._constructs), construct_tick=True
+        )
+        now_ms = self.engine.now_ms
+        tick_lead = self.config.tick_lead
+        for construct in self.constructs():
+            record = self._records[construct.construct_id]
+            self._promote_pending(record, construct, now_ms)
+
+            target_step = construct.step + 1
+            entry = record.sequence_for(construct, target_step)
+            if entry is not None:
+                snapshot = entry.sequence.raw_state_at(target_step)
+                construct.apply_state_unchecked(snapshot.states, step=target_step)
+                record.merged_steps += 1
+                report.merged_speculative += 1
+            else:
+                self._simulator.step(construct)
+                record.fallback_steps += 1
+                report.simulated_locally += 1
+                pending = record.pending
+                if (
+                    pending is not None
+                    and pending.covers(target_step)
+                    and pending.request.timestamp == construct.modification_counter
+                ):
+                    pending.locally_computed += 1
+            report.advanced += 1
+            record.drop_exhausted(construct)
+
+            coverage_end = record.coverage_end(construct)
+            if (
+                coverage_end < _UNBOUNDED_COVERAGE
+                and coverage_end - construct.step <= tick_lead
+            ):
+                self._issue_invocation(record, construct)
+        return report
+
+    # -- introspection -----------------------------------------------------------------------
+
+    def record_for(self, construct_id: int) -> SpeculationRecord:
+        if construct_id not in self._records:
+            raise KeyError(f"no speculation record for construct {construct_id}")
+        return self._records[construct_id]
+
+    def efficiency_samples(self) -> list[float]:
+        return self.metrics.histogram("speculation_efficiency").samples

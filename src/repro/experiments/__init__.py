@@ -1,0 +1,27 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Each experiment module exposes a ``run_*`` function that takes a
+:class:`~repro.experiments.harness.ExperimentSettings` (controlling duration,
+seeds and sweep sizes so benchmarks can use scaled-down runs) and returns a
+dataclass of results, plus a ``format_*`` helper that renders the same rows or
+series the paper reports.  The registry maps experiment ids (``fig07a``,
+``fig13``, ...) to their runners.
+"""
+
+from repro.experiments.harness import (
+    ExperimentSettings,
+    GAME_FACTORIES,
+    build_game_server,
+)
+from repro.experiments.max_players import MaxPlayersResult, find_max_players
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentSettings",
+    "GAME_FACTORIES",
+    "build_game_server",
+    "find_max_players",
+    "MaxPlayersResult",
+    "EXPERIMENTS",
+    "run_experiment",
+]

@@ -1,0 +1,68 @@
+"""Figure 3: download latency of game data from Azure Blob Storage.
+
+The figure motivates Servo's caching design: end-to-end download latencies of
+player data and terrain data, for the premium and standard storage tiers, are
+large and variable compared to the 100 ms budget of first-person games.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentSettings, format_table
+from repro.net.latency import GENRE_LATENCY_THRESHOLDS_MS
+from repro.sim.metrics import BoxplotStats, boxplot_stats
+from repro.storage.blob import download_latency_profile
+
+DATA_KINDS = ("player", "terrain")
+TIERS = ("premium", "standard")
+
+
+@dataclass
+class StorageLatencyResult:
+    """Latency distributions per (data kind, tier)."""
+
+    samples: dict[tuple[str, str], list[float]] = field(default_factory=dict)
+
+    def stats(self, data_kind: str, tier: str) -> BoxplotStats:
+        return boxplot_stats(self.samples[(data_kind, tier)])
+
+    def exceeds_fps_budget_fraction(self, data_kind: str, tier: str) -> float:
+        values = np.asarray(self.samples[(data_kind, tier)])
+        return float(np.mean(values > GENRE_LATENCY_THRESHOLDS_MS["fps"]))
+
+
+def run_fig03(settings: ExperimentSettings | None = None) -> StorageLatencyResult:
+    """Reproduce Figure 3 by sampling the calibrated download profiles."""
+    settings = settings or ExperimentSettings()
+    rng = np.random.default_rng(settings.seed)
+    result = StorageLatencyResult()
+    for data_kind in DATA_KINDS:
+        for tier in TIERS:
+            model = download_latency_profile(data_kind, tier)
+            result.samples[(data_kind, tier)] = [
+                model.sample(rng) for _ in range(settings.latency_samples)
+            ]
+    return result
+
+
+def format_fig03(result: StorageLatencyResult) -> str:
+    rows = []
+    for data_kind in DATA_KINDS:
+        for tier in TIERS:
+            stats = result.stats(data_kind, tier)
+            rows.append(
+                [
+                    data_kind,
+                    tier,
+                    f"{stats.median:.0f}",
+                    f"{stats.p95:.0f}",
+                    f"{stats.maximum:.0f}",
+                    f"{100 * result.exceeds_fps_budget_fraction(data_kind, tier):.0f}%",
+                ]
+            )
+    return format_table(
+        ["data", "tier", "median ms", "p95 ms", "max ms", "> FPS budget"], rows
+    )

@@ -1,0 +1,199 @@
+"""Figure 12: scalability of serverless terrain generation.
+
+Figure 12a: players join every ten seconds and walk away from spawn at 3 (S3)
+or 8 (S8) blocks per second; the supported player count is the number of
+connected players when the rolling 95th-percentile tick duration first exceeds
+the 50 ms budget.  Figure 12b repeats the randomised workload R several times
+and reports the distribution of supported players per game.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.harness import ExperimentSettings, build_game_server, format_table
+from repro.server import GameConfig
+from repro.sim import SimulationEngine
+from repro.workload import Scenario
+from repro.workload.scenarios import TICK_BUDGET_MS
+
+GAMES = ("opencraft", "servo")
+SPEEDS = (3.0, 8.0)
+
+
+def supported_players_from_series(
+    times_ms: list[float],
+    durations_ms: list[float],
+    players_ms: list[float],
+    players_values: list[float],
+    window_ms: float = 2500.0,
+    budget_ms: float = TICK_BUDGET_MS,
+) -> int:
+    """Players connected when the rolling p95 tick duration first exceeds the budget.
+
+    Mirrors the paper's reading of Figure 12a: the 95th percentile curve
+    (2.5-second windows) crossing the 50 ms line determines the supported
+    player count.  If the budget is never exceeded, every connected player is
+    supported.
+    """
+    if not times_ms:
+        raise ValueError("empty tick-duration series")
+    start = times_ms[0]
+    end = times_ms[-1]
+    t = start
+    crossing_time = None
+    index = 0
+    while t <= end:
+        window = [
+            durations_ms[i]
+            for i in range(index, len(times_ms))
+            if t <= times_ms[i] < t + window_ms
+        ]
+        # advance index to keep the scan linear
+        while index < len(times_ms) and times_ms[index] < t:
+            index += 1
+        if window:
+            window.sort()
+            p95 = window[int(0.95 * (len(window) - 1))]
+            if p95 > budget_ms:
+                crossing_time = t
+                break
+        t += window_ms
+    if crossing_time is None:
+        return int(max(players_values)) if players_values else 0
+    connected = [
+        value for time, value in zip(players_ms, players_values) if time <= crossing_time
+    ]
+    supported = int(connected[-1]) - 1 if connected else 0
+    return max(0, supported)
+
+
+@dataclass
+class TerrainScalabilityRun:
+    """One game's run for one workload."""
+
+    game: str
+    workload: str
+    supported_players: int
+    max_connected: int
+    tick_series: list[tuple[float, float]] = field(default_factory=list)
+
+
+@dataclass
+class Fig12aResult:
+    runs: dict[tuple[str, str], TerrainScalabilityRun] = field(default_factory=dict)
+
+
+def _run_star(game: str, speed: float, settings: ExperimentSettings,
+              players: int, join_interval_s: float, duration_s: float) -> TerrainScalabilityRun:
+    engine = SimulationEngine(seed=settings.seed)
+    server = build_game_server(game, engine, GameConfig(world_type="default"))
+    scenario = Scenario.star(
+        players=players, speed=speed, duration_s=duration_s, join_interval_s=join_interval_s
+    )
+    scenario.warmup_s = 0.0
+    scenario.run(server)
+    metrics = engine.metrics
+    tick_series = metrics.series("tick_duration_over_time")
+    player_series = metrics.series("players_over_time")
+    supported = supported_players_from_series(
+        tick_series.times_ms, tick_series.values, player_series.times_ms, player_series.values
+    )
+    return TerrainScalabilityRun(
+        game=game,
+        workload=f"S{speed:g}",
+        supported_players=supported,
+        max_connected=int(max(player_series.values)) if len(player_series) else 0,
+        tick_series=list(zip(tick_series.times_ms, tick_series.values)),
+    )
+
+
+def run_fig12a(
+    settings: ExperimentSettings | None = None,
+    speeds: tuple[float, ...] = SPEEDS,
+    games: tuple[str, ...] = GAMES,
+    players: int = 40,
+    join_interval_s: float = 10.0,
+    duration_s: float | None = None,
+) -> Fig12aResult:
+    """Reproduce Figure 12a."""
+    settings = settings or ExperimentSettings()
+    if duration_s is None:
+        duration_s = players * join_interval_s + 30.0
+    result = Fig12aResult()
+    for game in games:
+        for speed in speeds:
+            run = _run_star(game, speed, settings, players, join_interval_s, duration_s)
+            result.runs[(game, run.workload)] = run
+    return result
+
+
+def format_fig12a(result: Fig12aResult) -> str:
+    rows = [
+        [game, workload, str(run.supported_players), str(run.max_connected)]
+        for (game, workload), run in sorted(result.runs.items())
+    ]
+    return format_table(["game", "workload", "supported players", "players offered"], rows)
+
+
+@dataclass
+class Fig12bResult:
+    """Distribution of supported players for the R workload."""
+
+    supported: dict[str, list[int]] = field(default_factory=dict)
+
+    def median(self, game: str) -> float:
+        values = sorted(self.supported[game])
+        return float(values[len(values) // 2])
+
+
+def run_fig12b(
+    settings: ExperimentSettings | None = None,
+    games: tuple[str, ...] = GAMES,
+    players: int = 40,
+    join_interval_s: float = 10.0,
+    duration_s: float | None = None,
+) -> Fig12bResult:
+    """Reproduce Figure 12b (randomised workload, repeated runs)."""
+    settings = settings or ExperimentSettings()
+    if duration_s is None:
+        duration_s = players * join_interval_s + 30.0
+    result = Fig12bResult()
+    for game in games:
+        outcomes = []
+        for repetition in range(settings.repetitions):
+            engine = SimulationEngine(seed=settings.seed + repetition * 101)
+            server = build_game_server(game, engine, GameConfig(world_type="default"))
+            scenario = Scenario.random(players=players, duration_s=duration_s)
+            scenario.join_interval_s = join_interval_s
+            scenario.warmup_s = 0.0
+            scenario.run(server)
+            metrics = engine.metrics
+            tick_series = metrics.series("tick_duration_over_time")
+            player_series = metrics.series("players_over_time")
+            outcomes.append(
+                supported_players_from_series(
+                    tick_series.times_ms,
+                    tick_series.values,
+                    player_series.times_ms,
+                    player_series.values,
+                )
+            )
+        result.supported[game] = outcomes
+    return result
+
+
+def format_fig12b(result: Fig12bResult) -> str:
+    rows = []
+    for game, values in sorted(result.supported.items()):
+        ordered = sorted(values)
+        rows.append(
+            [
+                game,
+                f"{min(ordered)}",
+                f"{result.median(game):.0f}",
+                f"{max(ordered)}",
+                str(len(ordered)),
+            ]
+        )
+    return format_table(["game", "min", "median", "max", "repetitions"], rows)

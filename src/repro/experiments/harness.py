@@ -1,0 +1,86 @@
+"""Shared experiment plumbing.
+
+Experiments are parameterised by :class:`ExperimentSettings` so the same code
+can run at paper scale (minutes of virtual time, fine-grained sweeps) or at
+benchmark scale (seconds of virtual time, coarse sweeps) without changing any
+logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.core import ServoConfig, build_servo_server
+from repro.server import GameConfig, GameServer, make_minecraft, make_opencraft
+from repro.sim import SimulationEngine
+
+#: game name -> factory(engine, game_config) -> GameServer
+GAME_FACTORIES: dict[str, Callable[[SimulationEngine, GameConfig], GameServer]] = {
+    "opencraft": make_opencraft,
+    "minecraft": make_minecraft,
+    "servo": lambda engine, config: build_servo_server(engine, config),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment runner."""
+
+    #: base random seed; repetitions derive their own seeds from it
+    seed: int = 42
+    #: virtual seconds measured per configuration
+    duration_s: float = 20.0
+    #: step between candidate player counts in max-player searches
+    player_step: int = 10
+    #: largest player count considered
+    max_players: int = 200
+    #: repetitions for experiments that report distributions over runs
+    repetitions: int = 3
+    #: samples for pure latency-distribution experiments
+    latency_samples: int = 2000
+
+    def scaled(self, **overrides) -> "ExperimentSettings":
+        """A copy with some fields replaced (used by benchmarks)."""
+        return replace(self, **overrides)
+
+
+#: settings used by the pytest benchmarks: small enough for CI, same code paths
+QUICK_SETTINGS = ExperimentSettings(
+    duration_s=10.0, player_step=50, max_players=200, repetitions=2, latency_samples=500
+)
+
+#: settings that approximate the paper's experiment durations
+PAPER_SETTINGS = ExperimentSettings(
+    duration_s=60.0, player_step=10, max_players=200, repetitions=20, latency_samples=15000
+)
+
+
+def build_game_server(
+    game: str,
+    engine: SimulationEngine,
+    game_config: GameConfig | None = None,
+    servo_config: ServoConfig | None = None,
+) -> GameServer:
+    """Build a server by game name ("opencraft", "minecraft" or "servo")."""
+    if game not in GAME_FACTORIES:
+        raise ValueError(f"unknown game {game!r}; expected one of {sorted(GAME_FACTORIES)}")
+    config = game_config or GameConfig()
+    if game == "servo":
+        return build_servo_server(engine, config, servo_config)
+    return GAME_FACTORIES[game](engine, config)
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a fixed-width text table (used by every experiment's report)."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)

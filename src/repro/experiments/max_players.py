@@ -1,0 +1,81 @@
+"""Maximum supported players search.
+
+The paper defines the maximum number of supported players as the largest
+player count for which fewer than 5 % of tick-duration samples exceed the
+50 ms budget (Section IV-B).  The search walks the candidate player counts
+with a binary search, exploiting that the over-budget fraction grows
+monotonically with the player count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import ServoConfig
+from repro.experiments.harness import ExperimentSettings, build_game_server
+from repro.server import GameConfig
+from repro.sim import SimulationEngine
+from repro.workload import Scenario
+from repro.workload.scenarios import TICK_BUDGET_MS
+
+
+@dataclass
+class MaxPlayersResult:
+    """Result of one max-supported-players search."""
+
+    game: str
+    constructs: int
+    max_players: int
+    #: player count -> fraction of ticks over budget, for every count evaluated
+    evaluated: dict[int, float] = field(default_factory=dict)
+
+
+def _fraction_over_budget(
+    game: str,
+    players: int,
+    constructs: int,
+    settings: ExperimentSettings,
+    servo_config: ServoConfig | None,
+) -> float:
+    engine = SimulationEngine(seed=settings.seed)
+    server = build_game_server(
+        game, engine, GameConfig(world_type="flat"), servo_config=servo_config
+    )
+    scenario = Scenario.behaviour_a(
+        players=players, constructs=constructs, duration_s=settings.duration_s
+    )
+    result = scenario.run(server)
+    return result.fraction_over_budget(TICK_BUDGET_MS)
+
+
+def find_max_players(
+    game: str,
+    constructs: int,
+    settings: ExperimentSettings | None = None,
+    servo_config: ServoConfig | None = None,
+    qos_tolerance: float = 0.05,
+) -> MaxPlayersResult:
+    """Find the maximum supported player count for a game and construct count."""
+    settings = settings or ExperimentSettings()
+    candidates = list(
+        range(settings.player_step, settings.max_players + 1, settings.player_step)
+    )
+    result = MaxPlayersResult(game=game, constructs=constructs, max_players=0)
+
+    def supports(players: int) -> bool:
+        fraction = _fraction_over_budget(game, players, constructs, settings, servo_config)
+        result.evaluated[players] = fraction
+        return fraction < qos_tolerance
+
+    # Binary search over the candidate list: find the last supported count.
+    low, high = 0, len(candidates) - 1
+    best = 0
+    while low <= high:
+        middle = (low + high) // 2
+        if supports(candidates[middle]):
+            best = candidates[middle]
+            low = middle + 1
+        else:
+            high = middle - 1
+    result.max_players = best
+    return result

@@ -1,0 +1,35 @@
+"""Function-as-a-Service (FaaS) substrate.
+
+A simulator of the commercial FaaS platforms the paper runs on (AWS Lambda and
+Azure Functions): function registration, synchronous and asynchronous
+invocation, warm/cold execution environments with keep-alive expiry, the
+memory-to-vCPU resource scaling that drives Figure 11, and utilisation-based
+billing used for the paper's cost estimate.
+
+Function handlers are real Python callables (the construct simulator and the
+terrain generator actually execute), while invocation latency comes from the
+calibrated resource and provider models.
+"""
+
+from repro.faas.billing import BillingModel, InvocationCharge
+from repro.faas.coldstart import WarmInstancePool
+from repro.faas.function import FunctionDefinition, FunctionOutput, Invocation
+from repro.faas.platform import FaasPlatform, FunctionNotRegisteredError
+from repro.faas.providers import AWS_LAMBDA, AZURE_FUNCTIONS, ProviderProfile
+from repro.faas.resources import ResourceModel, vcpus_for_memory
+
+__all__ = [
+    "FunctionDefinition",
+    "FunctionOutput",
+    "Invocation",
+    "FaasPlatform",
+    "FunctionNotRegisteredError",
+    "WarmInstancePool",
+    "ResourceModel",
+    "vcpus_for_memory",
+    "ProviderProfile",
+    "AWS_LAMBDA",
+    "AZURE_FUNCTIONS",
+    "BillingModel",
+    "InvocationCharge",
+]

@@ -1,0 +1,89 @@
+"""Utilisation-based billing.
+
+FaaS billing has two components: a per-request charge and a charge per
+GB-second of execution.  The billing model records every invocation so the
+experiments can report cost per hour, which the paper compares to the price of
+one c5n.xlarge VM ($0.216 per hour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faas.providers import BillingRates
+
+
+@dataclass(frozen=True)
+class InvocationCharge:
+    """The billed quantities of one invocation."""
+
+    function_name: str
+    time_ms: float
+    billed_duration_ms: float
+    memory_mb: int
+    cost_usd: float
+
+
+@dataclass
+class BillingModel:
+    """Accumulates invocation charges for one provider."""
+
+    rates: BillingRates
+    charges: list[InvocationCharge] = field(default_factory=list)
+
+    def record(self, function_name: str, time_ms: float, execution_ms: float, memory_mb: int) -> InvocationCharge:
+        """Record one invocation and return its charge."""
+        increment = self.rates.billing_increment_ms
+        billed_ms = max(self.rates.minimum_billed_ms, execution_ms)
+        # Round up to the billing increment, as providers do.
+        billed_ms = increment * -(-billed_ms // increment)
+        gb_seconds = (memory_mb / 1024.0) * (billed_ms / 1000.0)
+        cost = (
+            self.rates.usd_per_million_requests / 1_000_000.0
+            + gb_seconds * self.rates.usd_per_gb_second
+        )
+        charge = InvocationCharge(
+            function_name=function_name,
+            time_ms=time_ms,
+            billed_duration_ms=billed_ms,
+            memory_mb=memory_mb,
+            cost_usd=cost,
+        )
+        self.charges.append(charge)
+        return charge
+
+    # -- summaries --------------------------------------------------------------------
+
+    @property
+    def invocation_count(self) -> int:
+        return len(self.charges)
+
+    def total_cost_usd(self, function_name: str | None = None) -> float:
+        return sum(
+            charge.cost_usd
+            for charge in self.charges
+            if function_name is None or charge.function_name == function_name
+        )
+
+    def total_gb_seconds(self, function_name: str | None = None) -> float:
+        return sum(
+            (charge.memory_mb / 1024.0) * (charge.billed_duration_ms / 1000.0)
+            for charge in self.charges
+            if function_name is None or charge.function_name == function_name
+        )
+
+    def cost_per_hour_usd(self, window_ms: float, function_name: str | None = None) -> float:
+        """Cost extrapolated to one hour given the observation window length."""
+        if window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        return self.total_cost_usd(function_name) * (3_600_000.0 / window_ms)
+
+    def invocations_per_minute(self, window_ms: float, function_name: str | None = None) -> float:
+        if window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        count = sum(
+            1
+            for charge in self.charges
+            if function_name is None or charge.function_name == function_name
+        )
+        return count * (60_000.0 / window_ms)

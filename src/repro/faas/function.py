@@ -1,0 +1,66 @@
+"""Function definitions and invocation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class FunctionOutput:
+    """What a function handler returns.
+
+    ``value`` is the functional result (e.g. a simulation trace or a generated
+    chunk); ``work_ms_single_vcpu`` is how much single-vCPU compute producing
+    it represents, which the platform turns into execution time for the
+    function's memory configuration.
+    """
+
+    value: Any
+    work_ms_single_vcpu: float = 1.0
+
+
+#: a handler takes the invocation payload and returns a FunctionOutput
+FunctionHandler = Callable[[Any], FunctionOutput]
+
+
+@dataclass
+class FunctionDefinition:
+    """A deployed serverless function."""
+
+    name: str
+    handler: FunctionHandler
+    memory_mb: int = 1769
+    timeout_ms: float = 15 * 60 * 1000.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        if self.timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive")
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """The outcome of one function invocation."""
+
+    function_name: str
+    request_id: int
+    submitted_ms: float
+    #: when the reply is available at the caller
+    completed_ms: float
+    #: end-to-end latency observed by the caller
+    latency_ms: float
+    #: execution time inside the function (what the provider bills)
+    execution_ms: float
+    cold_start: bool
+    cold_start_ms: float
+    timed_out: bool
+    memory_mb: int
+    result: Any = field(default=None)
+
+    @property
+    def overhead_ms(self) -> float:
+        """Latency not spent executing the handler (network, control plane, cold start)."""
+        return self.latency_ms - self.execution_ms

@@ -1,0 +1,156 @@
+"""The FaaS platform simulator.
+
+The platform executes function handlers immediately (they are plain Python
+callables, so their functional results are real), while the *latency* the
+caller observes is assembled from the calibrated models:
+
+    latency = invocation overhead + cold-start penalty (if any) + execution time
+
+Execution time depends on the handler's reported single-vCPU work and the
+function's memory configuration (:mod:`repro.faas.resources`).  Synchronous
+invocation returns the completed :class:`Invocation`; asynchronous invocation
+schedules a completion callback on the simulation engine so replies arrive in
+virtual time, which is what Servo's speculative execution waits for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.faas.billing import BillingModel
+from repro.faas.coldstart import WarmInstancePool
+from repro.faas.function import FunctionDefinition, FunctionOutput, Invocation
+from repro.faas.providers import ProviderProfile, AWS_LAMBDA
+from repro.faas.resources import ResourceModel
+from repro.sim.engine import SimulationEngine
+
+
+class FunctionNotRegisteredError(KeyError):
+    """Raised when invoking a function that has not been registered."""
+
+
+class FaasPlatform:
+    """A simulated FaaS provider deployment."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        provider: ProviderProfile = AWS_LAMBDA,
+        resource_model: ResourceModel | None = None,
+    ) -> None:
+        self.engine = engine
+        self.provider = provider
+        self.resources = resource_model or ResourceModel()
+        self.billing = BillingModel(rates=provider.billing)
+        self._functions: dict[str, FunctionDefinition] = {}
+        self._pools: dict[str, WarmInstancePool] = {}
+        self._request_ids = itertools.count(1)
+        self._rng = engine.rng(f"faas:{provider.name}")
+        #: completed invocations, newest last (useful for experiment analysis)
+        self.invocations: list[Invocation] = []
+
+    # -- deployment ----------------------------------------------------------------
+
+    def register(self, definition: FunctionDefinition) -> None:
+        """Deploy (or redeploy) a function."""
+        self._functions[definition.name] = definition
+        self._pools[definition.name] = WarmInstancePool(keep_alive_ms=self.provider.keep_alive_ms)
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._functions
+
+    def function_names(self) -> list[str]:
+        return sorted(self._functions)
+
+    def pool(self, name: str) -> WarmInstancePool:
+        self._require(name)
+        return self._pools[name]
+
+    def _require(self, name: str) -> FunctionDefinition:
+        if name not in self._functions:
+            raise FunctionNotRegisteredError(
+                f"function {name!r} is not registered; registered: {self.function_names()}"
+            )
+        return self._functions[name]
+
+    # -- invocation ----------------------------------------------------------------
+
+    def invoke(self, name: str, payload: Any) -> Invocation:
+        """Invoke a function synchronously.
+
+        The handler runs now; the returned record carries the virtual latency
+        after which the reply would be observable by the caller.  The
+        simulation clock is *not* advanced; callers decide how to account the
+        latency (Servo's offload path uses :meth:`invoke_async` instead).
+        """
+        definition = self._require(name)
+        submitted_ms = self.engine.now_ms
+
+        output = definition.handler(payload)
+        if not isinstance(output, FunctionOutput):
+            raise TypeError(
+                f"handler of function {name!r} must return FunctionOutput, got {type(output)!r}"
+            )
+
+        execution_ms = self.resources.sample_execution_ms(
+            output.work_ms_single_vcpu, definition.memory_mb, self._rng
+        )
+        overhead_ms = self.provider.invocation_overhead.sample(self._rng)
+        cold = self._pools[name].acquire(submitted_ms, duration_ms=execution_ms)
+        cold_ms = self.provider.cold_start_penalty.sample(self._rng) if cold else 0.0
+
+        timed_out = execution_ms > definition.timeout_ms
+        if timed_out:
+            execution_ms = definition.timeout_ms
+
+        latency_ms = overhead_ms + cold_ms + execution_ms
+        invocation = Invocation(
+            function_name=name,
+            request_id=next(self._request_ids),
+            submitted_ms=submitted_ms,
+            completed_ms=submitted_ms + latency_ms,
+            latency_ms=latency_ms,
+            execution_ms=execution_ms,
+            cold_start=cold,
+            cold_start_ms=cold_ms,
+            timed_out=timed_out,
+            memory_mb=definition.memory_mb,
+            result=None if timed_out else output.value,
+        )
+        self.billing.record(name, submitted_ms, execution_ms, definition.memory_mb)
+        self.invocations.append(invocation)
+        return invocation
+
+    def invoke_async(
+        self,
+        name: str,
+        payload: Any,
+        callback: Optional[Callable[[Invocation], None]] = None,
+    ) -> Invocation:
+        """Invoke a function and deliver the reply in virtual time.
+
+        The returned record describes the invocation; if ``callback`` is given
+        it fires on the simulation engine at the invocation's completion time.
+        """
+        invocation = self.invoke(name, payload)
+        if callback is not None:
+            self.engine.schedule_at(
+                invocation.completed_ms,
+                lambda inv=invocation: callback(inv),
+                name=f"faas-reply:{name}:{invocation.request_id}",
+            )
+        return invocation
+
+    # -- summaries ------------------------------------------------------------------
+
+    def invocations_for(self, name: str) -> list[Invocation]:
+        return [inv for inv in self.invocations if inv.function_name == name]
+
+    def cold_start_fraction(self, name: str | None = None) -> float:
+        relevant = [
+            inv for inv in self.invocations if name is None or inv.function_name == name
+        ]
+        if not relevant:
+            return 0.0
+        return sum(1 for inv in relevant if inv.cold_start) / len(relevant)

@@ -1,0 +1,83 @@
+"""Resource scaling of FaaS functions.
+
+On AWS Lambda the vCPU share a function receives is proportional to its memory
+allocation (one full vCPU at 1769 MB).  Compute-bound work therefore finishes
+faster with larger memory configurations, but sublinearly (Figure 11b), and
+small configurations show larger latency variability (Figure 11a).
+
+Calibration (documented in DESIGN.md §6): a default-world chunk generation is
+~1.3 s of single-vCPU work plus ~150 ms of fixed in-function overhead, which
+reproduces the ~3.3 s mean at 320 MB down to ~0.7 s at 10240 MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: memory (MB) that corresponds to one full vCPU on AWS Lambda
+MEMORY_PER_VCPU_MB = 1769.0
+
+
+def vcpus_for_memory(memory_mb: float) -> float:
+    """vCPU share for a memory configuration."""
+    if memory_mb <= 0:
+        raise ValueError("memory_mb must be positive")
+    return float(memory_mb) / MEMORY_PER_VCPU_MB
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """Turns single-vCPU work into execution time for a memory configuration."""
+
+    #: exponent of the sublinear speedup with vCPU share
+    scaling_exponent: float = 0.503
+    #: fixed per-execution overhead inside the function (runtime startup, I/O)
+    overhead_ms: float = 20.0
+    #: latency variability at large memory configurations
+    sigma_floor: float = 0.10
+    #: additional variability for small (sub-vCPU) configurations
+    sigma_small_config: float = 0.22
+    #: below this memory size the runtime suffers additional slowdown
+    memory_pressure_threshold_mb: float = 480.0
+    #: multiplicative slowdown applied under memory pressure
+    memory_pressure_factor: float = 1.35
+
+    def speed_factor(self, memory_mb: float) -> float:
+        """Relative execution speed (1.0 at one full vCPU).
+
+        Very small configurations are additionally penalised: with little
+        memory the runtime spends extra time on garbage collection and paging,
+        which is why the paper's 320 MB configuration is the one exception to
+        "less memory is more cost-efficient" (Figure 11b).
+        """
+        speed = vcpus_for_memory(memory_mb) ** self.scaling_exponent
+        if memory_mb < self.memory_pressure_threshold_mb:
+            speed /= self.memory_pressure_factor
+        return speed
+
+    def mean_execution_ms(self, work_ms_single_vcpu: float, memory_mb: float) -> float:
+        """Mean execution time of ``work_ms_single_vcpu`` at a memory configuration."""
+        if work_ms_single_vcpu < 0:
+            raise ValueError("work must be non-negative")
+        return self.overhead_ms + work_ms_single_vcpu / self.speed_factor(memory_mb)
+
+    def sigma(self, memory_mb: float) -> float:
+        """Lognormal sigma of the execution time (larger for smaller configs)."""
+        vcpus = vcpus_for_memory(memory_mb)
+        return self.sigma_floor + self.sigma_small_config / max(vcpus, 0.12) * 0.12
+
+    def sample_execution_ms(
+        self, work_ms_single_vcpu: float, memory_mb: float, rng: np.random.Generator
+    ) -> float:
+        """Draw one execution time for the given work and memory configuration."""
+        mean = self.mean_execution_ms(work_ms_single_vcpu, memory_mb)
+        sigma = self.sigma(memory_mb)
+        # Lognormal with the requested mean: shift the underlying mu accordingly.
+        mu = np.log(mean) - 0.5 * sigma * sigma
+        return float(rng.lognormal(mean=mu, sigma=sigma))
+
+
+#: the memory configurations evaluated in Figure 11
+FIGURE_11_MEMORY_CONFIGS_MB = (320, 512, 1024, 2048, 4096, 10240)

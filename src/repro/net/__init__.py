@@ -1,0 +1,12 @@
+"""Network latency model.
+
+The paper's operational model (Section II-A, Figure 2) decomposes response
+time into network latency ``t_n`` and server time ``t_s``.  This package
+models the network paths involved: player home to cloud (client-server), and
+game server to managed cloud services (intra-cloud).
+"""
+
+from repro.net.latency import NetworkModel, NetworkPath
+from repro.net.message import Message, MessageKind
+
+__all__ = ["NetworkModel", "NetworkPath", "Message", "MessageKind"]

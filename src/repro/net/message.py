@@ -1,0 +1,37 @@
+"""Client-server protocol messages.
+
+Servo explicitly does not change the client protocol (Requirement R4): the
+message vocabulary below is the unmodified MVE protocol the clients already
+speak.  Bots produce these messages; the server consumes them in its tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class MessageKind(Enum):
+    """Kinds of client-to-server messages."""
+
+    MOVE = "move"
+    PLACE_BLOCK = "place_block"
+    BREAK_BLOCK = "break_block"
+    CHAT = "chat"
+    SET_INVENTORY = "set_inventory"
+    TOGGLE_CONSTRUCT = "toggle_construct"
+    IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One client-to-server message."""
+
+    kind: MessageKind
+    player_id: int
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.player_id < 0:
+            raise ValueError("player_id must be non-negative")

@@ -1,0 +1,439 @@
+"""Chunk management: loading, generation, integration and eviction.
+
+The chunk manager keeps the voxel world populated around the players.  Every
+tick it:
+
+1. determines the set of chunks required by the players' view distances
+   (tracked incrementally: a player's required set only changes when the
+   player crosses a chunk boundary),
+2. requests missing chunks — from persistent storage if they exist there,
+   otherwise from the terrain provider (local worker threads for the
+   baselines, serverless functions for Servo),
+3. integrates chunks whose load/generation completed (bounded per tick, since
+   integrating a chunk costs tick time),
+4. periodically evicts chunks far outside every player's view, persisting
+   dirty ones.
+
+It also produces the "distance to the closest missing terrain" metric of
+Figure 10a.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Optional
+
+from repro.server.entities import Avatar
+from repro.sim.engine import SimulationEngine
+from repro.storage.base import StorageBackend
+from repro.world.chunk import Chunk
+from repro.world.coords import CHUNK_SIZE, BlockPos, ChunkPos, block_to_chunk, chunk_origin
+from repro.world.serialization import chunk_from_bytes, chunk_to_bytes
+from repro.world.terrain import TerrainGenerator
+from repro.world.world import VoxelWorld
+
+#: virtual milliseconds of on-server work to generate one default-world chunk
+CHUNK_GENERATION_WORK_MS = 250.0
+
+
+@lru_cache(maxsize=32)
+def _ring_offsets(radius_chunks: int) -> tuple[tuple[int, int], ...]:
+    """Chunk offsets within ``radius_chunks`` of the origin (circular footprint)."""
+    offsets = []
+    for dx in range(-radius_chunks, radius_chunks + 1):
+        for dz in range(-radius_chunks, radius_chunks + 1):
+            if math.hypot(dx, dz) <= radius_chunks + 0.5:
+                offsets.append((dx, dz))
+    return tuple(offsets)
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Metadata describing how a chunk became available."""
+
+    position: ChunkPos
+    latency_ms: float
+    source: str  # "local-generation", "faas-generation", or "storage"
+    consumed_local_cpu: bool
+
+
+class TerrainProvider:
+    """Interface for components that produce newly generated chunks."""
+
+    name: str = "abstract"
+
+    def request(
+        self, position: ChunkPos, callback: Callable[[Chunk, GenerationResult], None]
+    ) -> None:
+        """Start generating ``position``; ``callback`` fires in virtual time when done."""
+        raise NotImplementedError
+
+    def pending_count(self) -> int:
+        raise NotImplementedError
+
+
+class LocalTerrainProvider(TerrainProvider):
+    """Terrain generation on the game server's own machine.
+
+    A fixed pool of worker threads generates chunks sequentially; each chunk
+    takes ``work_ms`` of virtual time, so the provider's throughput is
+    ``workers / work_ms`` chunks per millisecond.  This is the bottleneck that
+    makes Opencraft unable to keep up with fast-moving players (Figure 10a),
+    and completions interfere with the game loop (accounted by the cost
+    model's ``per_local_generation_ms``).
+    """
+
+    name = "local"
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        generator: TerrainGenerator,
+        workers: int = 2,
+        work_ms: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a local terrain provider needs at least one worker")
+        self.engine = engine
+        self.generator = generator
+        self.workers = int(workers)
+        self.work_ms = float(
+            work_ms
+            if work_ms is not None
+            else CHUNK_GENERATION_WORK_MS * generator.generation_work_units()
+        )
+        self._worker_free_at_ms = [0.0] * self.workers
+        self._pending = 0
+        self._rng = engine.rng("local-terrain")
+
+    def request(
+        self, position: ChunkPos, callback: Callable[[Chunk, GenerationResult], None]
+    ) -> None:
+        now = self.engine.now_ms
+        worker_index = min(
+            range(self.workers), key=lambda index: self._worker_free_at_ms[index]
+        )
+        start = max(now, self._worker_free_at_ms[worker_index])
+        duration = self.work_ms * float(self._rng.lognormal(0.0, 0.15))
+        finish = start + duration
+        self._worker_free_at_ms[worker_index] = finish
+        self._pending += 1
+
+        def complete() -> None:
+            self._pending -= 1
+            chunk = self.generator.generate_chunk(position)
+            result = GenerationResult(
+                position=position,
+                latency_ms=finish - now,
+                source="local-generation",
+                consumed_local_cpu=True,
+            )
+            callback(chunk, result)
+
+        self.engine.schedule_at(finish, complete, name=f"local-gen:{position.key()}")
+
+    def pending_count(self) -> int:
+        return self._pending
+
+
+@dataclass
+class ChunkTickReport:
+    """What the chunk manager did during one tick."""
+
+    chunks_requested: int = 0
+    chunks_integrated: int = 0
+    local_generations_completed: int = 0
+    chunks_streamed: int = 0
+    chunks_evicted: int = 0
+    #: chunk generations requested but not yet completed by the provider
+    generation_backlog: int = 0
+    #: minimum over players of the distance to the closest missing chunk (blocks)
+    min_view_range_blocks: float = 0.0
+
+
+@dataclass
+class _ReadyChunk:
+    chunk: Chunk
+    result: GenerationResult
+
+
+class ChunkManager:
+    """Keeps the world loaded around the players."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        world: VoxelWorld,
+        generator: TerrainGenerator,
+        provider: TerrainProvider,
+        storage: Optional[StorageBackend] = None,
+        view_distance_blocks: float = 128.0,
+        unload_margin_blocks: float = 64.0,
+        max_integrations_per_tick: int = 8,
+        eviction_interval_ticks: int = 40,
+        persist_on_evict: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.world = world
+        self.generator = generator
+        self.provider = provider
+        self.storage = storage
+        self.view_distance_blocks = float(view_distance_blocks)
+        self.unload_margin_blocks = float(unload_margin_blocks)
+        self.max_integrations_per_tick = int(max_integrations_per_tick)
+        self.eviction_interval_ticks = int(eviction_interval_ticks)
+        self.persist_on_evict = persist_on_evict
+        self._view_radius_chunks = int(math.ceil(self.view_distance_blocks / CHUNK_SIZE))
+        self._keep_radius_chunks = int(
+            math.ceil((self.view_distance_blocks + self.unload_margin_blocks) / CHUNK_SIZE)
+        )
+        self._pending: set[ChunkPos] = set()
+        self._ready: list[_ReadyChunk] = []
+        self._protected: set[ChunkPos] = set()
+        #: per-player cached (chunk position, required chunk set)
+        self._player_views: dict[int, tuple[ChunkPos, frozenset[ChunkPos]]] = {}
+        #: reference counts: how many players currently require each chunk
+        self._chunk_refcounts: dict[ChunkPos, int] = {}
+        #: chunks already streamed to each player (clients cache terrain)
+        self._player_sent: dict[int, set[ChunkPos]] = {}
+        #: chunks queued for streaming to each player (sent a few per tick)
+        self._player_send_queue: dict[int, list[ChunkPos]] = {}
+        #: maximum chunks streamed to one player in one tick
+        self.stream_cap_per_player = 3
+        self._tick_counter = 0
+        self.metrics = engine.metrics
+
+    # -- startup ---------------------------------------------------------------------
+
+    def preload_area(self, center: BlockPos, radius_blocks: float) -> int:
+        """Synchronously generate and load an area (used for spawn setup).
+
+        Startup loading happens before players connect, so it bypasses the
+        asynchronous pipeline and does not produce latency samples.
+        """
+        radius_chunks = int(math.ceil(radius_blocks / CHUNK_SIZE))
+        center_chunk = block_to_chunk(center)
+        loaded = 0
+        for dx, dz in _ring_offsets(radius_chunks):
+            position = ChunkPos(center_chunk.cx + dx, center_chunk.cz + dz)
+            if self.world.is_loaded(position):
+                continue
+            self.world.add_chunk(self.generator.generate_chunk(position))
+            loaded += 1
+        return loaded
+
+    def protect(self, positions: list[ChunkPos]) -> None:
+        """Mark chunks that must never be evicted (e.g. construct areas)."""
+        self._protected.update(positions)
+
+    # -- asynchronous completion ---------------------------------------------------------
+
+    def _on_chunk_available(self, chunk: Chunk, result: GenerationResult) -> None:
+        self._pending.discard(chunk.position)
+        self._ready.append(_ReadyChunk(chunk=chunk, result=result))
+        self.metrics.histogram("terrain_retrieval_ms").record(result.latency_ms)
+        if result.source == "storage":
+            self.metrics.increment("chunks_loaded_from_storage")
+        else:
+            self.metrics.increment("chunks_generated")
+
+    def _request_chunk(self, position: ChunkPos) -> None:
+        self._pending.add(position)
+        key = position.key()
+        if self.storage is not None and self.storage.exists(key):
+            operation = self.storage.read(key)
+            completion_ms = self.engine.now_ms + operation.latency_ms
+
+            def complete(op=operation, pos=position) -> None:
+                try:
+                    chunk = chunk_from_bytes(op.data or b"")
+                except Exception:
+                    # A corrupt stored chunk falls back to regeneration.
+                    self.provider.request(pos, self._on_chunk_available)
+                    return
+                self._on_chunk_available(
+                    chunk,
+                    GenerationResult(
+                        position=pos,
+                        latency_ms=op.latency_ms,
+                        source="storage",
+                        consumed_local_cpu=False,
+                    ),
+                )
+
+            self.engine.schedule_at(completion_ms, complete, name=f"storage-load:{key}")
+        else:
+            self.provider.request(position, self._on_chunk_available)
+
+    # -- per-tick update -------------------------------------------------------------------
+
+    def _refresh_player_view(self, avatar: Avatar) -> None:
+        """Update the avatar's required chunk set; cheap unless it crossed a chunk."""
+        current_chunk = block_to_chunk(avatar.position)
+        cached = self._player_views.get(avatar.player_id)
+        if cached is not None and cached[0] == current_chunk:
+            return
+        required = frozenset(
+            ChunkPos(current_chunk.cx + dx, current_chunk.cz + dz)
+            for dx, dz in _ring_offsets(self._view_radius_chunks)
+        )
+        old_required = cached[1] if cached is not None else frozenset()
+        for position in required - old_required:
+            self._chunk_refcounts[position] = self._chunk_refcounts.get(position, 0) + 1
+        for position in old_required - required:
+            count = self._chunk_refcounts.get(position, 0) - 1
+            if count <= 0:
+                self._chunk_refcounts.pop(position, None)
+            else:
+                self._chunk_refcounts[position] = count
+        self._player_views[avatar.player_id] = (current_chunk, required)
+        # Chunks that entered the view and were never sent to this client must
+        # be streamed (a few per tick); clients cache terrain, so chunks sent
+        # earlier are never re-sent.  The initial view download on connect is
+        # not charged to the game loop: real servers push it from the join
+        # screen, outside the latency-critical path.
+        if cached is None:
+            self._player_sent[avatar.player_id] = set(required)
+            self._player_send_queue.setdefault(avatar.player_id, [])
+            return
+        sent = self._player_sent.setdefault(avatar.player_id, set())
+        queue = self._player_send_queue.setdefault(avatar.player_id, [])
+        queued = set(queue)
+        for position in sorted(required - old_required):
+            if position not in sent and position not in queued:
+                queue.append(position)
+
+    def forget_player(self, player_id: int) -> None:
+        """Drop cached view state for a disconnected player."""
+        self._player_sent.pop(player_id, None)
+        self._player_send_queue.pop(player_id, None)
+        cached = self._player_views.pop(player_id, None)
+        if cached is None:
+            return
+        for position in cached[1]:
+            count = self._chunk_refcounts.get(position, 0) - 1
+            if count <= 0:
+                self._chunk_refcounts.pop(position, None)
+            else:
+                self._chunk_refcounts[position] = count
+
+    def _stream_to_players(self) -> int:
+        """Send queued, loaded chunks to clients (a few per player per tick)."""
+        streamed = 0
+        for player_id, queue in self._player_send_queue.items():
+            if not queue:
+                continue
+            sent = self._player_sent.setdefault(player_id, set())
+            remaining: list[ChunkPos] = []
+            budget = self.stream_cap_per_player
+            for position in queue:
+                if budget > 0 and self.world.is_loaded(position):
+                    sent.add(position)
+                    streamed += 1
+                    budget -= 1
+                else:
+                    remaining.append(position)
+            self._player_send_queue[player_id] = remaining
+        return streamed
+
+    def update(self, avatars: list[Avatar]) -> ChunkTickReport:
+        """Run one tick of chunk management and report the work done."""
+        self._tick_counter += 1
+        report = ChunkTickReport()
+
+        # 1. Determine required chunks and request missing ones.
+        for avatar in avatars:
+            self._refresh_player_view(avatar)
+        required_union = self._chunk_refcounts
+        missing = [
+            position
+            for position in required_union
+            if position not in self._pending and not self.world.is_loaded(position)
+        ]
+        for position in sorted(missing):
+            self._request_chunk(position)
+        report.chunks_requested = len(missing)
+
+        # 2. Integrate ready chunks (bounded per tick).
+        to_integrate = self._ready[: self.max_integrations_per_tick]
+        self._ready = self._ready[self.max_integrations_per_tick:]
+        for ready in to_integrate:
+            if not self.world.is_loaded(ready.chunk.position):
+                self.world.add_chunk(ready.chunk)
+            report.chunks_integrated += 1
+            if ready.result.consumed_local_cpu:
+                report.local_generations_completed += 1
+
+        # 3. Stream newly visible terrain to clients.
+        report.chunks_streamed = self._stream_to_players()
+
+        # 4. Periodic eviction of chunks far outside every player's view.
+        if avatars and self._tick_counter % self.eviction_interval_ticks == 0:
+            report.chunks_evicted = self._evict(avatars)
+
+        # 5. View-range metric: distance to the closest missing required chunk.
+        report.generation_backlog = self.provider.pending_count()
+        report.min_view_range_blocks = self._view_range(avatars, required_union)
+        return report
+
+    def _evict(self, avatars: list[Avatar]) -> int:
+        keep: set[ChunkPos] = set(self._protected)
+        for avatar in avatars:
+            center = block_to_chunk(avatar.position)
+            keep.update(
+                ChunkPos(center.cx + dx, center.cz + dz)
+                for dx, dz in _ring_offsets(self._keep_radius_chunks)
+            )
+        evicted = 0
+        for position in list(self.world.loaded_chunk_positions):
+            if position in keep:
+                continue
+            chunk = self.world.remove_chunk(position)
+            evicted += 1
+            if self.persist_on_evict and self.storage is not None and chunk.dirty:
+                self.storage.write(position.key(), chunk_to_bytes(chunk))
+        return evicted
+
+    def _view_range(
+        self, avatars: list[Avatar], required_union: dict[ChunkPos, int] | set[ChunkPos]
+    ) -> float:
+        if not avatars:
+            return self.view_distance_blocks
+        unavailable = [
+            position
+            for position in required_union
+            if not self.world.is_loaded(position)
+        ]
+        if not unavailable:
+            return self.view_distance_blocks
+        overall = self.view_distance_blocks
+        for avatar in avatars:
+            for chunk_pos in unavailable:
+                origin = chunk_origin(chunk_pos)
+                center = BlockPos(origin.x + 8, avatar.position.y, origin.z + 8)
+                distance = avatar.position.horizontal_distance_to(center)
+                overall = min(overall, distance)
+        return overall
+
+    # -- persistence --------------------------------------------------------------------
+
+    def persist_dirty(self) -> int:
+        """Write every dirty loaded chunk to storage (periodic write-back)."""
+        if self.storage is None:
+            return 0
+        written = 0
+        for chunk in self.world.dirty_chunks():
+            self.storage.write(chunk.position.key(), chunk_to_bytes(chunk))
+            chunk.dirty = False
+            written += 1
+        return written
+
+    @property
+    def pending_chunks(self) -> int:
+        return len(self._pending)
+
+    @property
+    def ready_backlog(self) -> int:
+        return len(self._ready)

@@ -1,0 +1,46 @@
+"""Game server configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.world.coords import BlockPos
+
+
+@dataclass(frozen=True)
+class GameConfig:
+    """Static configuration of one MVE server instance.
+
+    Defaults follow the paper's setup: a 20 Hz simulation rate (50 ms tick
+    budget) and a 128-block view distance.
+    """
+
+    #: simulation rate R in ticks per second
+    simulation_rate_hz: float = 20.0
+    #: player view distance in blocks (the paper's default is 128)
+    view_distance_blocks: float = 128.0
+    #: world type: "default" (procedural) or "flat"
+    world_type: str = "default"
+    #: world generation seed
+    world_seed: int = 0
+    #: where newly connected players spawn
+    spawn_position: BlockPos = BlockPos(8, 65, 8)
+    #: how often dirty terrain is written back to persistent storage
+    persistence_interval_s: float = 30.0
+    #: maximum number of chunks integrated into the world per tick
+    max_chunk_integrations_per_tick: int = 8
+
+    def __post_init__(self) -> None:
+        if self.simulation_rate_hz <= 0:
+            raise ValueError("simulation_rate_hz must be positive")
+        if self.view_distance_blocks <= 0:
+            raise ValueError("view_distance_blocks must be positive")
+        if self.world_type not in ("default", "flat"):
+            raise ValueError(f"unknown world type {self.world_type!r}")
+        if self.max_chunk_integrations_per_tick < 1:
+            raise ValueError("max_chunk_integrations_per_tick must be at least 1")
+
+    @property
+    def tick_interval_ms(self) -> float:
+        """The tick budget 1/R in milliseconds (50 ms at 20 Hz)."""
+        return 1000.0 / self.simulation_rate_hz

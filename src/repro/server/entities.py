@@ -1,0 +1,50 @@
+"""Avatars and entities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.world.coords import BlockPos
+
+
+@dataclass
+class Avatar:
+    """A player's in-world representation."""
+
+    player_id: int
+    name: str
+    position: BlockPos
+    #: blocks travelled since connecting (useful for workload statistics)
+    distance_travelled: float = 0.0
+    inventory_item: str = "stone"
+    chat_messages_sent: int = 0
+    blocks_placed: int = 0
+    blocks_broken: int = 0
+
+    def move_to(self, new_position: BlockPos) -> float:
+        """Move the avatar and return the horizontal distance covered."""
+        distance = self.position.horizontal_distance_to(new_position)
+        self.position = new_position
+        self.distance_travelled += distance
+        return distance
+
+
+@dataclass
+class EntityPopulation:
+    """Non-player entities in the world (mobs, items).
+
+    The paper's workloads do not exercise entities directly, but the server
+    models their presence because the baseline games spend a small amount of
+    tick time on them proportional to the loaded area.
+    """
+
+    entities_per_chunk: float = 0.8
+    _extra: int = 0
+
+    def spawn_extra(self, count: int) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._extra += count
+
+    def count_for(self, loaded_chunks: int) -> int:
+        return int(loaded_chunks * self.entities_per_chunk) + self._extra

@@ -1,0 +1,310 @@
+"""The 20 Hz game loop.
+
+Each tick the server processes client messages, updates chunk management,
+advances construct simulation through the configured backend, and records the
+tick's virtual duration (from the cost model) in the engine's metrics.  The
+virtual clock then advances by ``max(tick interval, tick duration)``: a server
+that blows its 50 ms budget starts the next tick late, exactly like a real
+game server under overload.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.constructs.circuit import SimulatedConstruct
+from repro.net.message import Message, MessageKind
+from repro.server.chunkmanager import ChunkManager
+from repro.server.config import GameConfig
+from repro.server.costmodel import TickCostModel, TickWork
+from repro.server.entities import Avatar
+from repro.server.sc_engine import ConstructBackend
+from repro.server.session import PlayerSession
+from repro.sim.engine import SimulationEngine
+from repro.storage.base import StorageBackend
+from repro.world.block import BlockType
+from repro.world.coords import BlockPos, block_to_chunk
+from repro.world.world import ChunkNotLoadedError, VoxelWorld
+
+
+@dataclass(frozen=True)
+class TickRecord:
+    """Summary of one executed tick."""
+
+    index: int
+    start_ms: float
+    duration_ms: float
+    players: int
+    constructs: int
+    chunks_integrated: int
+    view_range_blocks: float
+
+
+@dataclass
+class ServerStatistics:
+    """Aggregate counters maintained across the server's lifetime."""
+
+    ticks_executed: int = 0
+    messages_processed: int = 0
+    blocks_placed: int = 0
+    blocks_broken: int = 0
+    players_connected_total: int = 0
+
+
+class GameServer:
+    """One MVE server instance (one virtual world)."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        config: GameConfig,
+        world: VoxelWorld,
+        chunk_manager: ChunkManager,
+        construct_backend: ConstructBackend,
+        cost_model: TickCostModel,
+        storage: Optional[StorageBackend] = None,
+        name: str = "server",
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.world = world
+        self.chunks = chunk_manager
+        self.constructs = construct_backend
+        self.cost_model = cost_model
+        self.storage = storage
+        self.name = name
+        self.sessions: dict[int, PlayerSession] = {}
+        self.stats = ServerStatistics()
+        self.tick_index = 0
+        self._player_ids = itertools.count(1)
+        self._rng = engine.rng(f"server:{name}")
+        self._construct_cells: dict[BlockPos, int] = {}
+        self._last_persist_ms = 0.0
+        #: hooks called at the start of every tick (used by Servo services)
+        self.pre_tick_hooks: list[Callable[[int], None]] = []
+        self.tick_records: list[TickRecord] = []
+
+    # -- player lifecycle -----------------------------------------------------------
+
+    def connect_player(self, name: str | None = None) -> PlayerSession:
+        """Connect a new player at the spawn position."""
+        player_id = next(self._player_ids)
+        player_name = name or f"player-{player_id}"
+        avatar = Avatar(player_id=player_id, name=player_name, position=self.config.spawn_position)
+        session = PlayerSession(
+            player_id=player_id,
+            name=player_name,
+            avatar=avatar,
+            connected_at_ms=self.engine.now_ms,
+        )
+        self.sessions[player_id] = session
+        self.stats.players_connected_total += 1
+        if self.storage is not None:
+            # Player data is loaded from persistent storage on connect (Figure 3).
+            key = f"player_{player_name}"
+            if self.storage.exists(key):
+                operation = self.storage.read(key)
+                self.engine.metrics.histogram("player_load_ms").record(operation.latency_ms)
+            else:
+                self.storage.write(key, player_name.encode("utf-8"))
+        return session
+
+    def disconnect_player(self, player_id: int) -> None:
+        session = self.sessions.pop(player_id, None)
+        if session is None:
+            raise KeyError(f"no connected player with id {player_id}")
+        session.disconnected = True
+        self.chunks.forget_player(player_id)
+
+    @property
+    def player_count(self) -> int:
+        return len(self.sessions)
+
+    # -- constructs -------------------------------------------------------------------
+
+    def place_construct(self, construct: SimulatedConstruct) -> None:
+        """Place a player-built construct into the world and register it."""
+        self.constructs.register_construct(construct)
+        for cell in construct.cells:
+            self._construct_cells[cell.position] = construct.construct_id
+            if self.world.block_loaded(cell.position):
+                self.world.set_block(cell.position, cell.block_type)
+        # Construct areas stay loaded so their simulation never pauses mid-experiment.
+        self.chunks.protect(sorted({block_to_chunk(pos) for pos in construct.positions}))
+
+    def remove_construct(self, construct_id: int) -> None:
+        self.constructs.remove_construct(construct_id)
+        for position, owner in list(self._construct_cells.items()):
+            if owner == construct_id:
+                del self._construct_cells[position]
+
+    @property
+    def construct_count(self) -> int:
+        return len(self.constructs.constructs())
+
+    # -- message processing --------------------------------------------------------------
+
+    def _process_message(self, session: PlayerSession, message: Message) -> None:
+        avatar = session.avatar
+        kind = message.kind
+        if kind is MessageKind.MOVE:
+            target = BlockPos(
+                int(message.payload["x"]), int(message.payload["y"]), int(message.payload["z"])
+            )
+            avatar.move_to(target)
+        elif kind is MessageKind.PLACE_BLOCK:
+            target = BlockPos(
+                int(message.payload["x"]), int(message.payload["y"]), int(message.payload["z"])
+            )
+            block = BlockType(int(message.payload.get("block", int(BlockType.STONE))))
+            try:
+                self.world.set_block(target, block)
+                avatar.blocks_placed += 1
+                self.stats.blocks_placed += 1
+            except ChunkNotLoadedError:
+                pass  # placing into unloaded terrain is ignored, as in the real games
+            self._notify_construct_edit(target)
+        elif kind is MessageKind.BREAK_BLOCK:
+            target = BlockPos(
+                int(message.payload["x"]), int(message.payload["y"]), int(message.payload["z"])
+            )
+            try:
+                self.world.set_block(target, BlockType.AIR)
+                avatar.blocks_broken += 1
+                self.stats.blocks_broken += 1
+            except ChunkNotLoadedError:
+                pass
+            self._notify_construct_edit(target)
+        elif kind is MessageKind.CHAT:
+            avatar.chat_messages_sent += 1
+        elif kind is MessageKind.SET_INVENTORY:
+            avatar.inventory_item = str(message.payload.get("item", "stone"))
+        elif kind is MessageKind.TOGGLE_CONSTRUCT:
+            target = BlockPos(
+                int(message.payload["x"]), int(message.payload["y"]), int(message.payload["z"])
+            )
+            self._notify_construct_edit(target)
+        elif kind is MessageKind.IDLE:
+            pass
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unhandled message kind {kind!r}")
+
+    def _notify_construct_edit(self, position: BlockPos) -> None:
+        """Tell the construct backend that a player touched a construct (or nearby)."""
+        construct_id = self._construct_cells.get(position)
+        if construct_id is None:
+            # Edits adjacent to a construct also invalidate its speculation.
+            for neighbour in position.neighbours():
+                construct_id = self._construct_cells.get(neighbour)
+                if construct_id is not None:
+                    break
+        if construct_id is not None:
+            self.constructs.on_player_modify(construct_id, position)
+
+    # -- the tick -------------------------------------------------------------------------
+
+    def tick(self) -> TickRecord:
+        """Execute one simulation tick and advance the virtual clock."""
+        start_ms = self.engine.now_ms
+        work = TickWork(players=self.player_count)
+
+        for hook in self.pre_tick_hooks:
+            hook(self.tick_index)
+
+        # 1. Process queued client messages.
+        for session in self.sessions.values():
+            for message in session.drain():
+                self._process_message(session, message)
+                work.actions += 1
+                self.stats.messages_processed += 1
+
+        # 2. Chunk management.
+        chunk_report = self.chunks.update([session.avatar for session in self.sessions.values()])
+        work.chunks_integrated = chunk_report.chunks_integrated
+        work.local_generations_completed = chunk_report.local_generations_completed
+        work.generation_backlog = chunk_report.generation_backlog
+        work.chunks_streamed = chunk_report.chunks_streamed
+        work.loaded_chunks = self.world.loaded_chunk_count
+
+        # 3. Construct simulation.
+        construct_report = self.constructs.tick(self.tick_index)
+        work.constructs_total = construct_report.total_constructs
+        work.constructs_simulated_locally = construct_report.simulated_locally
+        work.constructs_merged = construct_report.merged_speculative
+        work.construct_tick = construct_report.construct_tick
+
+        # 4. Broadcast state updates (accounted per player by the cost model).
+        for session in self.sessions.values():
+            session.updates_sent += 1
+
+        # 5. Periodic persistence (off the critical path).
+        if (
+            self.storage is not None
+            and (start_ms - self._last_persist_ms) >= self.config.persistence_interval_s * 1000.0
+        ):
+            self.chunks.persist_dirty()
+            self._last_persist_ms = start_ms
+
+        # 6. Account the tick's virtual duration and advance the clock.
+        duration_ms = self.cost_model.duration_ms(work, self._rng)
+        metrics = self.engine.metrics
+        metrics.histogram("tick_duration_ms").record(duration_ms)
+        metrics.series("tick_duration_over_time").record(start_ms, duration_ms)
+        metrics.series("view_range_over_time").record(start_ms, chunk_report.min_view_range_blocks)
+        metrics.series("players_over_time").record(start_ms, self.player_count)
+
+        record = TickRecord(
+            index=self.tick_index,
+            start_ms=start_ms,
+            duration_ms=duration_ms,
+            players=self.player_count,
+            constructs=work.constructs_total,
+            chunks_integrated=work.chunks_integrated,
+            view_range_blocks=chunk_report.min_view_range_blocks,
+        )
+        self.tick_records.append(record)
+        self.tick_index += 1
+        self.stats.ticks_executed += 1
+
+        # The next tick starts after the tick budget, or immediately after an
+        # overlong tick (the server falls behind, it does not skip work).
+        self.engine.advance_to(start_ms + max(self.config.tick_interval_ms, duration_ms))
+        return record
+
+    # -- run helpers ------------------------------------------------------------------------
+
+    def run_ticks(
+        self, count: int, before_tick: Optional[Callable[["GameServer", int], None]] = None
+    ) -> list[TickRecord]:
+        """Run ``count`` ticks, invoking ``before_tick(server, tick_index)`` before each."""
+        records = []
+        for _ in range(int(count)):
+            if before_tick is not None:
+                before_tick(self, self.tick_index)
+            records.append(self.tick())
+        return records
+
+    def run_for_seconds(
+        self, seconds: float, before_tick: Optional[Callable[["GameServer", int], None]] = None
+    ) -> list[TickRecord]:
+        """Run ticks until ``seconds`` of virtual time have elapsed."""
+        deadline_ms = self.engine.now_ms + seconds * 1000.0
+        records = []
+        while self.engine.now_ms < deadline_ms:
+            if before_tick is not None:
+                before_tick(self, self.tick_index)
+            records.append(self.tick())
+        return records
+
+    # -- reporting ---------------------------------------------------------------------------
+
+    def tick_durations_ms(self) -> list[float]:
+        return [record.duration_ms for record in self.tick_records]
+
+    def fraction_of_ticks_over_budget(self, budget_ms: float = 50.0) -> float:
+        durations = self.tick_durations_ms()
+        if not durations:
+            raise ValueError("no ticks have been executed yet")
+        return sum(1 for duration in durations if duration > budget_ms) / len(durations)

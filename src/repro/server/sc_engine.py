@@ -1,0 +1,146 @@
+"""Construct backends: who simulates the simulated constructs.
+
+The game loop delegates construct simulation to a pluggable backend:
+
+* :class:`LocalConstructBackend` — the baseline behaviour of Opencraft and
+  Minecraft: every construct is simulated on the server, every other tick
+  (which is what makes their tick-duration distributions bimodal).
+* Servo's speculative/offloading backend lives in
+  :mod:`repro.core.speculative` and implements the same interface.
+
+Backends really advance construct state (using
+:class:`repro.constructs.ConstructSimulator`), so block/lamp states are
+functionally correct in every variant; the *cost* of the work they report is
+translated into tick time by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constructs.circuit import SimulatedConstruct
+from repro.constructs.simulator import ConstructSimulator
+from repro.constructs.state import ConstructState
+from repro.world.coords import BlockPos
+
+
+@dataclass
+class ConstructTickReport:
+    """What the construct backend did during one tick."""
+
+    total_constructs: int = 0
+    simulated_locally: int = 0
+    merged_speculative: int = 0
+    #: constructs that advanced one step this tick (by any path)
+    advanced: int = 0
+    #: True if this tick was a construct-simulation tick for the backend
+    construct_tick: bool = False
+
+
+class ConstructBackend:
+    """Interface the game loop uses to drive construct simulation."""
+
+    def register_construct(self, construct: SimulatedConstruct) -> None:
+        raise NotImplementedError
+
+    def remove_construct(self, construct_id: int) -> None:
+        raise NotImplementedError
+
+    def constructs(self) -> list[SimulatedConstruct]:
+        raise NotImplementedError
+
+    def on_player_modify(self, construct_id: int, position: BlockPos) -> None:
+        """Called when a player modifies a construct (or terrain adjacent to it)."""
+        raise NotImplementedError
+
+    def tick(self, tick_index: int) -> ConstructTickReport:
+        """Advance construct simulation for one game tick."""
+        raise NotImplementedError
+
+
+class LocalConstructBackend(ConstructBackend):
+    """Simulate every construct on the server, every ``interval`` ticks.
+
+    Identical constructs (same structure and state) share one functional
+    simulation: their state sequences are provably equal, so the backend
+    simulates one representative per equivalence class and applies the result
+    to all members.  The *cost* reported still counts every construct, because
+    the baseline servers do the work per construct.
+    """
+
+    def __init__(self, interval: int = 2) -> None:
+        if interval < 1:
+            raise ValueError("construct simulation interval must be at least 1")
+        self.interval = int(interval)
+        self._constructs: dict[int, SimulatedConstruct] = {}
+        self._simulator = ConstructSimulator()
+        self._groups: list[list[int]] = []
+        self._groups_dirty = True
+
+    # -- registry -------------------------------------------------------------------
+
+    def register_construct(self, construct: SimulatedConstruct) -> None:
+        self._constructs[construct.construct_id] = construct
+        self._groups_dirty = True
+
+    def remove_construct(self, construct_id: int) -> None:
+        self._constructs.pop(construct_id, None)
+        self._groups_dirty = True
+
+    def constructs(self) -> list[SimulatedConstruct]:
+        return [self._constructs[key] for key in sorted(self._constructs)]
+
+    def on_player_modify(self, construct_id: int, position: BlockPos) -> None:
+        construct = self._constructs.get(construct_id)
+        if construct is not None:
+            construct.player_modify(position)
+            self._groups_dirty = True
+
+    # -- simulation -----------------------------------------------------------------
+
+    def _equivalence_key(self, construct: SimulatedConstruct) -> tuple:
+        anchor = construct.anchor()
+        return tuple(
+            (
+                cell.position.x - anchor.x,
+                cell.position.y - anchor.y,
+                cell.position.z - anchor.z,
+                cell.component.value,
+                cell.state,
+                tuple(sorted(cell.properties.items())),
+            )
+            for cell in construct.cells
+        )
+
+    def _rebuild_groups(self) -> None:
+        """Group identical constructs: their state sequences are provably equal.
+
+        Grouping is recomputed only when a construct is added, removed or
+        modified by a player; members of a group evolve in lockstep otherwise.
+        """
+        groups: dict[tuple, list[int]] = {}
+        for construct in self.constructs():
+            groups.setdefault(self._equivalence_key(construct), []).append(
+                construct.construct_id
+            )
+        self._groups = list(groups.values())
+        self._groups_dirty = False
+
+    def tick(self, tick_index: int) -> ConstructTickReport:
+        report = ConstructTickReport(total_constructs=len(self._constructs))
+        if tick_index % self.interval != 0:
+            return report
+        report.construct_tick = True
+        if not self._constructs:
+            return report
+        if self._groups_dirty:
+            self._rebuild_groups()
+
+        for members in self._groups:
+            representative = self._constructs[members[0]]
+            self._simulator.step(representative)
+            for construct_id in members[1:]:
+                self._constructs[construct_id].copy_state_from(representative)
+        report.simulated_locally = len(self._constructs)
+        report.advanced = len(self._constructs)
+        return report

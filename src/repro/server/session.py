@@ -1,0 +1,48 @@
+"""Player sessions: the server-side endpoint of one connected client."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.message import Message, MessageKind
+from repro.server.entities import Avatar
+
+
+@dataclass
+class PlayerSession:
+    """One connected player: avatar plus the inbound message queue."""
+
+    player_id: int
+    name: str
+    avatar: Avatar
+    connected_at_ms: float
+    _inbox: list[Message] = field(default_factory=list)
+    #: state updates sent to this client (a proxy for outbound bandwidth)
+    updates_sent: int = 0
+    disconnected: bool = False
+
+    def enqueue(self, message: Message) -> None:
+        """Queue a client message for processing in the next tick."""
+        if message.player_id != self.player_id:
+            raise ValueError(
+                f"message for player {message.player_id} enqueued on session {self.player_id}"
+            )
+        if self.disconnected:
+            raise RuntimeError(f"session {self.player_id} is disconnected")
+        self._inbox.append(message)
+
+    def drain(self) -> list[Message]:
+        """Remove and return every queued message (called once per tick)."""
+        messages, self._inbox = self._inbox, []
+        return messages
+
+    @property
+    def pending_messages(self) -> int:
+        return len(self._inbox)
+
+    def move(self, x: int, y: int, z: int) -> None:
+        """Convenience wrapper: queue a MOVE message."""
+        self.enqueue(Message(MessageKind.MOVE, self.player_id, {"x": x, "y": y, "z": z}))
+
+    def chat(self, text: str) -> None:
+        self.enqueue(Message(MessageKind.CHAT, self.player_id, {"text": text}))

@@ -1,0 +1,255 @@
+"""Metric collection and summary statistics.
+
+The experiments report tick-duration distributions, latency percentiles,
+boxplot statistics and inverse CDFs.  This module provides small, dependency
+free containers for collecting samples during a simulation and the summary
+functions used when rendering paper-style tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """Return the ``q``-th percentile (0-100) of ``samples``.
+
+    Raises ``ValueError`` for empty input so callers cannot silently report a
+    statistic over nothing.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot compute a percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    return float(np.percentile(values, q))
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """The five summary values the paper's boxplots report, plus the mean/max."""
+
+    minimum: float
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+    mean: float
+    count: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "min": self.minimum,
+            "p5": self.p5,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p95": self.p95,
+            "max": self.maximum,
+            "mean": self.mean,
+            "count": float(self.count),
+        }
+
+
+def boxplot_stats(samples: Iterable[float]) -> BoxplotStats:
+    """Compute the boxplot summary used throughout the paper's figures."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot compute boxplot statistics of an empty sample set")
+    return BoxplotStats(
+        minimum=float(values.min()),
+        p5=float(np.percentile(values, 5)),
+        p25=float(np.percentile(values, 25)),
+        median=float(np.percentile(values, 50)),
+        p75=float(np.percentile(values, 75)),
+        p95=float(np.percentile(values, 95)),
+        maximum=float(values.max()),
+        mean=float(values.mean()),
+        count=int(values.size),
+    )
+
+
+def inverse_cdf(samples: Iterable[float], latencies_ms: Iterable[float]) -> list[tuple[float, float]]:
+    """Return (latency, fraction of samples >= latency) pairs.
+
+    This is the inverse cumulative distribution the paper plots in Figure 13:
+    for each latency threshold, the fraction of operations at or above it.
+    """
+    values = np.sort(np.asarray(list(samples), dtype=float))
+    if values.size == 0:
+        raise ValueError("cannot compute an inverse CDF of an empty sample set")
+    points: list[tuple[float, float]] = []
+    for threshold in latencies_ms:
+        above = float(np.count_nonzero(values >= threshold)) / values.size
+        points.append((float(threshold), above))
+    return points
+
+
+def fraction_exceeding(samples: Iterable[float], threshold: float) -> float:
+    """Fraction of samples strictly greater than ``threshold``.
+
+    The paper's definition of "supported players" uses the fraction of tick
+    durations exceeding the 50 ms budget.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot compute exceedance of an empty sample set")
+    return float(np.count_nonzero(values > threshold)) / values.size
+
+
+@dataclass
+class Histogram:
+    """An append-only collection of scalar samples with summary helpers."""
+
+    name: str = ""
+    _samples: list[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._samples.extend(float(v) for v in values)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._samples)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self._samples, q)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return float(np.mean(self._samples))
+
+    def maximum(self) -> float:
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return float(np.max(self._samples))
+
+    def boxplot(self) -> BoxplotStats:
+        return boxplot_stats(self._samples)
+
+    def fraction_exceeding(self, threshold: float) -> float:
+        return fraction_exceeding(self._samples, threshold)
+
+    def clear(self) -> None:
+        self._samples.clear()
+
+
+@dataclass
+class TimeSeries:
+    """Timestamped samples, e.g. tick duration over time (Figure 10/12)."""
+
+    name: str = ""
+    _times_ms: list[float] = field(default_factory=list)
+    _values: list[float] = field(default_factory=list)
+
+    def record(self, time_ms: float, value: float) -> None:
+        self._times_ms.append(float(time_ms))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def times_ms(self) -> list[float]:
+        return list(self._times_ms)
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def window(self, start_ms: float, end_ms: float) -> list[float]:
+        """Values whose timestamp falls in [start_ms, end_ms)."""
+        return [
+            v
+            for t, v in zip(self._times_ms, self._values)
+            if start_ms <= t < end_ms
+        ]
+
+    def rolling(self, window_ms: float, step_ms: float | None = None) -> list[tuple[float, float, float, float]]:
+        """Rolling (time, mean, p5, p95) tuples over ``window_ms`` windows.
+
+        This matches the 2.5 s rolling bands the paper uses in Figures 10
+        and 12.  Windows with no samples are skipped.
+        """
+        if not self._values:
+            return []
+        step = float(step_ms if step_ms is not None else window_ms)
+        start = min(self._times_ms)
+        end = max(self._times_ms)
+        out: list[tuple[float, float, float, float]] = []
+        t = start
+        while t <= end + 1e-9:
+            window = self.window(t, t + window_ms)
+            if window:
+                arr = np.asarray(window)
+                out.append(
+                    (
+                        float(t + window_ms / 2.0),
+                        float(arr.mean()),
+                        float(np.percentile(arr, 5)),
+                        float(np.percentile(arr, 95)),
+                    )
+                )
+            t += step
+        return out
+
+    def clear(self) -> None:
+        self._times_ms.clear()
+        self._values.clear()
+
+
+class MetricRegistry:
+    """Named histograms, time series and counters for one simulation run."""
+
+    def __init__(self) -> None:
+        self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, TimeSeries] = {}
+        self._counters: dict[str, float] = {}
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name=name)
+        return self._histograms[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name=name)
+        return self._series[name]
+
+    def increment(self, name: str, amount: float = 1.0) -> float:
+        self._counters[name] = self._counters.get(name, 0.0) + float(amount)
+        return self._counters[name]
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    @property
+    def histogram_names(self) -> list[str]:
+        return sorted(self._histograms)
+
+    @property
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    @property
+    def counter_names(self) -> list[str]:
+        return sorted(self._counters)
+
+    def clear(self) -> None:
+        self._histograms.clear()
+        self._series.clear()
+        self._counters.clear()

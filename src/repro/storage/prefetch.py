@@ -1,0 +1,58 @@
+"""Distance-based prefetch policy.
+
+Servo hides blob-storage latency by prefetching terrain data that is outside
+of, but close to, the players' view distance (Section III-E).  The policy
+computes, from the current avatar positions, the set of chunks that should be
+resident (the view set) and the set that should be prefetched (the ring just
+beyond the view distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.world.coords import BlockPos, ChunkPos, chunks_within_blocks
+
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """The chunk sets a prefetch evaluation produces."""
+
+    required: frozenset[ChunkPos]
+    prefetch: frozenset[ChunkPos]
+
+    @property
+    def all_chunks(self) -> frozenset[ChunkPos]:
+        return self.required | self.prefetch
+
+
+@dataclass(frozen=True)
+class DistancePrefetchPolicy:
+    """Prefetch chunks within ``view_distance + prefetch_margin`` blocks of any avatar."""
+
+    view_distance_blocks: float = 128.0
+    prefetch_margin_blocks: float = 48.0
+
+    def plan(self, avatar_positions: Iterable[BlockPos]) -> PrefetchPlan:
+        """Compute required and prefetch chunk sets for the given avatar positions."""
+        required: set[ChunkPos] = set()
+        extended: set[ChunkPos] = set()
+        for position in avatar_positions:
+            required.update(chunks_within_blocks(position, self.view_distance_blocks))
+            extended.update(
+                chunks_within_blocks(
+                    position, self.view_distance_blocks + self.prefetch_margin_blocks
+                )
+            )
+        return PrefetchPlan(
+            required=frozenset(required), prefetch=frozenset(extended - required)
+        )
+
+    def eviction_candidates(
+        self, resident: Iterable[ChunkPos], avatar_positions: Iterable[BlockPos]
+    ) -> list[ChunkPos]:
+        """Resident chunks outside the extended radius (safe to drop from memory)."""
+        plan = self.plan(avatar_positions)
+        keep = plan.all_chunks
+        return sorted(pos for pos in resident if pos not in keep)

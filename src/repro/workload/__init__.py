@@ -1,0 +1,38 @@
+"""Workload generation: emulated players and experiment scenarios.
+
+The paper drives its experiments with bot players exhibiting four behaviours
+(Section IV-A): ``A`` (movement inside a bounded area, used for construct
+experiments), ``Sx`` (star-shaped walks away from spawn at x blocks/s),
+``Sinc`` (star walk with increasing speed) and ``R`` (randomised behaviour
+with the action mix of Table II).  Scenarios bundle a behaviour, a player
+count, a join schedule, a world type and a construct workload, mirroring the
+rows of Table I.
+"""
+
+from repro.workload.behavior import (
+    Behavior,
+    BoundedAreaBehavior,
+    IncreasingSpeedStarBehavior,
+    RandomBehavior,
+    StarBehavior,
+    behavior_by_code,
+)
+from repro.workload.bots import BotPlayer, BotSwarm, JoinSchedule
+from repro.workload.constructs import place_standard_constructs
+from repro.workload.scenarios import Scenario, ScenarioResult, TABLE_I_SCENARIOS
+
+__all__ = [
+    "Behavior",
+    "BoundedAreaBehavior",
+    "StarBehavior",
+    "IncreasingSpeedStarBehavior",
+    "RandomBehavior",
+    "behavior_by_code",
+    "BotPlayer",
+    "BotSwarm",
+    "JoinSchedule",
+    "place_standard_constructs",
+    "Scenario",
+    "ScenarioResult",
+    "TABLE_I_SCENARIOS",
+]

@@ -1,0 +1,246 @@
+"""Player behaviours (Section IV-A and Table II).
+
+A behaviour decides, every tick, which client messages a bot sends.  All
+behaviours are deterministic given the bot's random stream, so experiment
+repetitions with the same seed produce identical action streams.
+
+Avatars move by fractions of a block per tick (e.g. 3 blocks/s is 0.15 blocks
+per tick at 20 Hz), so each behaviour instance keeps a continuous position and
+sends the rounded block position to the server.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.message import Message, MessageKind
+from repro.world.block import BlockType
+from repro.world.coords import BlockPos
+
+
+class Behavior:
+    """Interface: produce the messages a bot sends this tick."""
+
+    code: str = "?"
+
+    def act(
+        self,
+        player_id: int,
+        position: BlockPos,
+        spawn: BlockPos,
+        tick_index: int,
+        tick_interval_ms: float,
+        rng: np.random.Generator,
+    ) -> list[Message]:
+        raise NotImplementedError
+
+
+def _move_message(player_id: int, position: BlockPos) -> Message:
+    return Message(
+        MessageKind.MOVE,
+        player_id,
+        {"x": position.x, "y": position.y, "z": position.z},
+    )
+
+
+class _ContinuousWalker(Behavior):
+    """Shared plumbing: continuous (sub-block) position tracking."""
+
+    def __init__(self) -> None:
+        self._float_x: float | None = None
+        self._float_z: float | None = None
+
+    def _current(self, position: BlockPos) -> tuple[float, float]:
+        if self._float_x is None or self._float_z is None:
+            self._float_x = float(position.x)
+            self._float_z = float(position.z)
+        return self._float_x, self._float_z
+
+    def _move_to(self, player_id: int, position: BlockPos, x: float, z: float) -> Message:
+        self._float_x = x
+        self._float_z = z
+        return _move_message(player_id, BlockPos(int(round(x)), position.y, int(round(z))))
+
+
+class BoundedAreaBehavior(_ContinuousWalker):
+    """Behaviour ``A``: only move actions, inside a bounded area around spawn.
+
+    Used by the simulated-construct experiments because it generates no new
+    terrain: the bot performs a random walk clipped to ``radius_blocks``.
+    """
+
+    code = "A"
+
+    def __init__(self, radius_blocks: float = 12.0, speed_blocks_per_s: float = 3.0) -> None:
+        super().__init__()
+        self.radius_blocks = float(radius_blocks)
+        self.speed_blocks_per_s = float(speed_blocks_per_s)
+
+    def act(self, player_id, position, spawn, tick_index, tick_interval_ms, rng):
+        x, z = self._current(position)
+        step = self.speed_blocks_per_s * tick_interval_ms / 1000.0
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        new_x = min(max(x + step * math.cos(angle), spawn.x - self.radius_blocks),
+                    spawn.x + self.radius_blocks)
+        new_z = min(max(z + step * math.sin(angle), spawn.z - self.radius_blocks),
+                    spawn.z + self.radius_blocks)
+        return [self._move_to(player_id, position, new_x, new_z)]
+
+
+class StarBehavior(_ContinuousWalker):
+    """Behaviour ``Sx``: walk away from spawn in a fixed direction at x blocks/s.
+
+    Bots get evenly spread directions (a star pattern) so each explores new
+    terrain, stress-testing terrain generation.
+    """
+
+    def __init__(
+        self,
+        speed_blocks_per_s: float = 3.0,
+        direction_index: int = 0,
+        direction_count: int = 8,
+    ) -> None:
+        super().__init__()
+        self.speed_blocks_per_s = float(speed_blocks_per_s)
+        self.direction_index = int(direction_index)
+        self.direction_count = int(direction_count)
+
+    @property
+    def code(self) -> str:  # type: ignore[override]
+        return f"S{self.speed_blocks_per_s:g}"
+
+    def _angle(self) -> float:
+        return 2.0 * math.pi * (self.direction_index % self.direction_count) / self.direction_count
+
+    def current_speed(self, tick_index: int, tick_interval_ms: float) -> float:
+        """Speed at this tick (constant for Sx; overridden by Sinc)."""
+        return self.speed_blocks_per_s
+
+    def act(self, player_id, position, spawn, tick_index, tick_interval_ms, rng):
+        x, z = self._current(position)
+        speed = self.current_speed(tick_index, tick_interval_ms)
+        step = speed * tick_interval_ms / 1000.0
+        angle = self._angle()
+        return [self._move_to(player_id, position, x + step * math.cos(angle), z + step * math.sin(angle))]
+
+
+class IncreasingSpeedStarBehavior(StarBehavior):
+    """Behaviour ``Sinc``: star walk whose speed increases by one block/s per period.
+
+    The paper's terrain-QoS experiment starts at 1 block/s and adds one block/s
+    every 200 seconds.
+    """
+
+    def __init__(
+        self,
+        direction_index: int = 0,
+        direction_count: int = 8,
+        initial_speed_blocks_per_s: float = 1.0,
+        speed_increase_interval_s: float = 200.0,
+    ) -> None:
+        super().__init__(
+            speed_blocks_per_s=initial_speed_blocks_per_s,
+            direction_index=direction_index,
+            direction_count=direction_count,
+        )
+        self.initial_speed_blocks_per_s = float(initial_speed_blocks_per_s)
+        self.speed_increase_interval_s = float(speed_increase_interval_s)
+
+    @property
+    def code(self) -> str:  # type: ignore[override]
+        return "Sinc"
+
+    def current_speed(self, tick_index: int, tick_interval_ms: float) -> float:
+        elapsed_s = tick_index * tick_interval_ms / 1000.0
+        increments = int(elapsed_s // self.speed_increase_interval_s)
+        return self.initial_speed_blocks_per_s + increments
+
+
+class RandomBehavior(_ContinuousWalker):
+    """Behaviour ``R``: the randomised action mix of Table II.
+
+    Every tick the bot continues its current activity; when the activity ends
+    it draws a new one: 40 % move to a random destination at 1-8 blocks/s,
+    30 % break or place a nearby block, 20 % stand still, 5 % chat, 5 % set a
+    random inventory item.  Destinations are drawn around the bot's current
+    position, so over time the population drifts into new terrain.
+    """
+
+    code = "R"
+
+    def __init__(self, roam_radius_blocks: float = 64.0) -> None:
+        super().__init__()
+        self.roam_radius_blocks = float(roam_radius_blocks)
+        self._target: tuple[float, float] | None = None
+        self._speed: float = 2.0
+        self._idle_ticks: int = 0
+
+    def _pick_activity(self, player_id, position, rng) -> list[Message]:
+        roll = rng.random()
+        if roll < 0.40:
+            # Move to a random destination at 1 to 8 blocks per second.
+            x, z = self._current(position)
+            self._speed = float(rng.uniform(1.0, 8.0))
+            self._target = (
+                x + float(rng.uniform(-self.roam_radius_blocks, self.roam_radius_blocks)),
+                z + float(rng.uniform(-self.roam_radius_blocks, self.roam_radius_blocks)),
+            )
+            return []
+        if roll < 0.70:
+            # Break or place a nearby block.
+            offset_x, offset_z = int(rng.integers(-2, 3)), int(rng.integers(-2, 3))
+            target = BlockPos(position.x + offset_x, position.y - 1, position.z + offset_z)
+            kind = MessageKind.BREAK_BLOCK if rng.random() < 0.5 else MessageKind.PLACE_BLOCK
+            payload = {"x": target.x, "y": target.y, "z": target.z}
+            if kind is MessageKind.PLACE_BLOCK:
+                payload["block"] = int(BlockType.STONE)
+            return [Message(kind, player_id, payload)]
+        if roll < 0.90:
+            # Stand still for a moment.
+            self._idle_ticks = int(rng.integers(10, 40))
+            return []
+        if roll < 0.95:
+            return [Message(MessageKind.CHAT, player_id, {"text": "hello world"})]
+        item = str(rng.choice(["stone", "torch", "lever", "sand", "wood"]))
+        return [Message(MessageKind.SET_INVENTORY, player_id, {"item": item})]
+
+    def act(self, player_id, position, spawn, tick_index, tick_interval_ms, rng):
+        if self._idle_ticks > 0:
+            self._idle_ticks -= 1
+            return []
+        if self._target is not None:
+            x, z = self._current(position)
+            target_x, target_z = self._target
+            step = self._speed * tick_interval_ms / 1000.0
+            dx, dz = target_x - x, target_z - z
+            distance = math.hypot(dx, dz)
+            if distance <= step:
+                self._target = None
+                return [self._move_to(player_id, position, target_x, target_z)]
+            return [
+                self._move_to(
+                    player_id, position, x + step * dx / distance, z + step * dz / distance
+                )
+            ]
+        return self._pick_activity(player_id, position, rng)
+
+
+def behavior_by_code(code: str, direction_index: int = 0) -> Behavior:
+    """Create a behaviour from its Table I code ("A", "S3", "S8", "Sinc", "R")."""
+    normalized = code.strip()
+    if normalized == "A":
+        return BoundedAreaBehavior()
+    if normalized == "R":
+        return RandomBehavior()
+    if normalized.lower() == "sinc":
+        return IncreasingSpeedStarBehavior(direction_index=direction_index)
+    if normalized.upper().startswith("S"):
+        try:
+            speed = float(normalized[1:])
+        except ValueError as error:
+            raise ValueError(f"unknown behaviour code {code!r}") from error
+        return StarBehavior(speed_blocks_per_s=speed, direction_index=direction_index)
+    raise ValueError(f"unknown behaviour code {code!r}")

@@ -1,0 +1,120 @@
+"""Emulated players (bots) and join schedules.
+
+A :class:`BotSwarm` owns a set of bots, connects them to a server according to
+a :class:`JoinSchedule` (all at once or staggered, as in Figure 12a where a
+player joins every ten seconds), and produces the per-tick driver callback the
+game loop runs before every tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.server.gameloop import GameServer
+from repro.server.session import PlayerSession
+from repro.workload.behavior import Behavior
+from repro.world.coords import BlockPos
+
+
+@dataclass
+class BotPlayer:
+    """One emulated player."""
+
+    name: str
+    behavior: Behavior
+    session: Optional[PlayerSession] = None
+    spawn: Optional[BlockPos] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.session is not None and not self.session.disconnected
+
+    def act(self, server: GameServer, tick_index: int, rng: np.random.Generator) -> None:
+        """Queue this tick's messages on the bot's session."""
+        if not self.connected:
+            return
+        assert self.session is not None and self.spawn is not None
+        messages = self.behavior.act(
+            player_id=self.session.player_id,
+            position=self.session.avatar.position,
+            spawn=self.spawn,
+            tick_index=tick_index,
+            tick_interval_ms=server.config.tick_interval_ms,
+            rng=rng,
+        )
+        for message in messages:
+            self.session.enqueue(message)
+
+
+@dataclass(frozen=True)
+class JoinSchedule:
+    """When bots connect to the server."""
+
+    #: bots connected before the first tick
+    initial: int = 0
+    #: connect one additional bot every this many seconds (None = never)
+    interval_s: Optional[float] = None
+
+    @staticmethod
+    def all_at_start() -> "JoinSchedule":
+        return JoinSchedule(initial=-1, interval_s=None)
+
+    @staticmethod
+    def staggered(interval_s: float, initial: int = 0) -> "JoinSchedule":
+        return JoinSchedule(initial=initial, interval_s=interval_s)
+
+
+class BotSwarm:
+    """A population of bots driving one game server."""
+
+    def __init__(
+        self,
+        behaviors: list[Behavior],
+        schedule: JoinSchedule | None = None,
+        name_prefix: str = "bot",
+    ) -> None:
+        self.bots = [
+            BotPlayer(name=f"{name_prefix}-{index}", behavior=behavior)
+            for index, behavior in enumerate(behaviors)
+        ]
+        self.schedule = schedule or JoinSchedule.all_at_start()
+        self._next_join_index = 0
+        self._rng: np.random.Generator | None = None
+
+    @property
+    def connected_count(self) -> int:
+        return sum(1 for bot in self.bots if bot.connected)
+
+    def _connect_next(self, server: GameServer) -> None:
+        if self._next_join_index >= len(self.bots):
+            return
+        bot = self.bots[self._next_join_index]
+        bot.session = server.connect_player(bot.name)
+        bot.spawn = bot.session.avatar.position
+        self._next_join_index += 1
+
+    def install(self, server: GameServer) -> Callable[[GameServer, int], None]:
+        """Connect the initial bots and return the per-tick driver callback."""
+        self._rng = server.engine.rng("bots")
+        initial = self.schedule.initial
+        if initial < 0:
+            initial = len(self.bots)
+        for _ in range(min(initial, len(self.bots))):
+            self._connect_next(server)
+
+        start_ms = server.engine.now_ms
+
+        def driver(driven_server: GameServer, tick_index: int) -> None:
+            assert self._rng is not None
+            if self.schedule.interval_s is not None:
+                elapsed_s = (driven_server.engine.now_ms - start_ms) / 1000.0
+                target = initial + int(elapsed_s // self.schedule.interval_s)
+                while self._next_join_index < min(target, len(self.bots)):
+                    self._connect_next(driven_server)
+            for bot in self.bots:
+                bot.act(driven_server, tick_index, self._rng)
+
+        return driver

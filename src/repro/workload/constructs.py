@@ -1,0 +1,24 @@
+"""Construct workloads: place N simulated constructs in the world.
+
+The scalability experiments (Figures 1 and 7) vary the number of simulated
+constructs from 0 to 200; every construct is a medium clock-driven circuit
+spread over the area around spawn.
+"""
+
+from __future__ import annotations
+
+from repro.constructs.circuit import SimulatedConstruct
+from repro.constructs.library import standard_construct
+from repro.server.gameloop import GameServer
+
+
+def place_standard_constructs(server: GameServer, count: int) -> list[SimulatedConstruct]:
+    """Place ``count`` standard workload constructs on the server."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    constructs = []
+    for index in range(int(count)):
+        construct = standard_construct(index)
+        server.place_construct(construct)
+        constructs.append(construct)
+    return constructs

@@ -1,0 +1,186 @@
+"""Named experiment scenarios (Table I).
+
+A :class:`Scenario` bundles a workload: how many players, what they do, what
+world they play in, how many constructs exist and how long the experiment
+runs.  ``Scenario.run`` drives any game server (baseline or Servo) and returns
+a :class:`ScenarioResult` with the tick-duration and view-range statistics the
+paper's figures are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.server.gameloop import GameServer
+from repro.sim.metrics import BoxplotStats, boxplot_stats, fraction_exceeding
+from repro.workload.behavior import Behavior, behavior_by_code
+from repro.workload.bots import BotSwarm, JoinSchedule
+from repro.workload.constructs import place_standard_constructs
+
+#: the paper's QoS threshold: a tick must finish within the 50 ms budget
+TICK_BUDGET_MS = 50.0
+
+
+@dataclass
+class ScenarioResult:
+    """Measurements collected from one scenario run."""
+
+    scenario_name: str
+    server_name: str
+    players: int
+    constructs: int
+    duration_s: float
+    tick_durations_ms: list[float] = field(default_factory=list)
+    view_range_series: list[tuple[float, float]] = field(default_factory=list)
+
+    def tick_stats(self) -> BoxplotStats:
+        return boxplot_stats(self.tick_durations_ms)
+
+    def fraction_over_budget(self, budget_ms: float = TICK_BUDGET_MS) -> float:
+        return fraction_exceeding(self.tick_durations_ms, budget_ms)
+
+    def meets_qos(self, budget_ms: float = TICK_BUDGET_MS, tolerance: float = 0.05) -> bool:
+        """The paper's criterion: fewer than 5 % of ticks exceed the budget."""
+        return self.fraction_over_budget(budget_ms) < tolerance
+
+    def minimum_view_range(self) -> float:
+        if not self.view_range_series:
+            raise ValueError("no view-range samples were collected")
+        return min(value for _, value in self.view_range_series)
+
+
+@dataclass
+class Scenario:
+    """A runnable workload description."""
+
+    name: str
+    players: int
+    behavior_code: str = "A"
+    world_type: str = "flat"
+    constructs: int = 0
+    duration_s: float = 30.0
+    join_interval_s: Optional[float] = None
+    #: radius around spawn to pre-generate before the run (blocks)
+    preload_radius_blocks: float = 160.0
+    #: virtual seconds to run before measurements start (lets cold starts drain)
+    warmup_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.players < 0:
+            raise ValueError("players must be non-negative")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    # -- construction helpers -------------------------------------------------------------
+
+    @staticmethod
+    def behaviour_a(players: int, constructs: int, duration_s: float = 30.0) -> "Scenario":
+        """The construct-scalability workload (Figures 1 and 7)."""
+        return Scenario(
+            name=f"A-{players}p-{constructs}sc",
+            players=players,
+            behavior_code="A",
+            world_type="flat",
+            constructs=constructs,
+            duration_s=duration_s,
+        )
+
+    @staticmethod
+    def star(players: int, speed: float, duration_s: float = 120.0,
+             join_interval_s: Optional[float] = 10.0) -> "Scenario":
+        """The terrain-scalability workloads S3/S8 (Figure 12a)."""
+        return Scenario(
+            name=f"S{speed:g}-{players}p",
+            players=players,
+            behavior_code=f"S{speed:g}",
+            world_type="default",
+            duration_s=duration_s,
+            join_interval_s=join_interval_s,
+        )
+
+    @staticmethod
+    def sinc(players: int = 5, duration_s: float = 1000.0) -> "Scenario":
+        """The terrain-QoS workload (Figure 10)."""
+        return Scenario(
+            name=f"Sinc-{players}p",
+            players=players,
+            behavior_code="Sinc",
+            world_type="default",
+            duration_s=duration_s,
+        )
+
+    @staticmethod
+    def random(players: int, duration_s: float = 120.0) -> "Scenario":
+        """The randomised behaviour workload R (Figure 12b)."""
+        return Scenario(
+            name=f"R-{players}p",
+            players=players,
+            behavior_code="R",
+            world_type="default",
+            duration_s=duration_s,
+        )
+
+    # -- execution -------------------------------------------------------------------------
+
+    def build_swarm(self) -> BotSwarm:
+        behaviors: list[Behavior] = [
+            behavior_by_code(self.behavior_code, direction_index=index)
+            for index in range(self.players)
+        ]
+        schedule = (
+            JoinSchedule.staggered(self.join_interval_s)
+            if self.join_interval_s is not None
+            else JoinSchedule.all_at_start()
+        )
+        return BotSwarm(behaviors, schedule=schedule)
+
+    def run(self, server: GameServer) -> ScenarioResult:
+        """Drive ``server`` with this scenario and collect measurements.
+
+        The server must have been built with a matching world type; the
+        scenario preloads the spawn area, places the construct workload,
+        connects the bots, runs a short warm-up, then measures for
+        ``duration_s`` virtual seconds.
+        """
+        server.chunks.preload_area(server.config.spawn_position, self.preload_radius_blocks)
+        place_standard_constructs(server, self.constructs)
+        swarm = self.build_swarm()
+        driver = swarm.install(server)
+
+        if self.warmup_s > 0:
+            server.run_for_seconds(self.warmup_s, before_tick=driver)
+        measured_from = len(server.tick_records)
+        view_from = len(server.engine.metrics.series("view_range_over_time").values)
+
+        server.run_for_seconds(self.duration_s, before_tick=driver)
+
+        records = server.tick_records[measured_from:]
+        series = server.engine.metrics.series("view_range_over_time")
+        view_samples = list(zip(series.times_ms, series.values))[view_from:]
+        return ScenarioResult(
+            scenario_name=self.name,
+            server_name=server.name,
+            players=self.players,
+            constructs=self.constructs,
+            duration_s=self.duration_s,
+            tick_durations_ms=[record.duration_ms for record in records],
+            view_range_series=view_samples,
+        )
+
+
+#: the experiment overview of Table I, keyed by the paper's section
+TABLE_I_SCENARIOS: dict[str, Scenario] = {
+    "IV-B": Scenario.behaviour_a(players=100, constructs=100, duration_s=60.0),
+    "IV-C": Scenario(
+        name="latency-hiding", players=1, behavior_code="A", world_type="flat",
+        constructs=50, duration_s=60.0,
+    ),
+    "IV-D": Scenario.sinc(players=5, duration_s=300.0),
+    "IV-E": Scenario.star(players=30, speed=3, duration_s=120.0),
+    "IV-F": Scenario.star(players=8, speed=3, duration_s=120.0, join_interval_s=None),
+    "IV-G": Scenario(
+        name="construct-performance", players=1, behavior_code="A", world_type="flat",
+        constructs=1, duration_s=30.0,
+    ),
+}

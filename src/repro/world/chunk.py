@@ -1,0 +1,112 @@
+"""Chunks: 16x16x256 columns of blocks.
+
+Chunks are the unit of terrain generation, loading, caching and storage, just
+as in the paper (a "chunk" there is an area of 16x16x256 blocks, Figure 11).
+Block data is a dense ``uint8`` numpy array so chunks are cheap to copy,
+serialize and hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.world.block import BlockType, is_stateful
+from repro.world.coords import CHUNK_SIZE, BlockPos, ChunkPos, chunk_origin
+
+CHUNK_HEIGHT = 256
+
+
+@dataclass
+class Chunk:
+    """One 16x16x256 column of blocks."""
+
+    position: ChunkPos
+    blocks: np.ndarray = field(default_factory=lambda: np.zeros(
+        (CHUNK_SIZE, CHUNK_HEIGHT, CHUNK_SIZE), dtype=np.uint8
+    ))
+    generated_by: str = "unknown"
+    dirty: bool = False
+
+    def __post_init__(self) -> None:
+        expected = (CHUNK_SIZE, CHUNK_HEIGHT, CHUNK_SIZE)
+        if self.blocks.shape != expected:
+            raise ValueError(
+                f"chunk block array must have shape {expected}, got {self.blocks.shape}"
+            )
+        if self.blocks.dtype != np.uint8:
+            self.blocks = self.blocks.astype(np.uint8)
+
+    # -- local (in-chunk) coordinates -------------------------------------------------
+
+    def _local(self, pos: BlockPos) -> tuple[int, int, int]:
+        origin = chunk_origin(self.position)
+        lx = pos.x - origin.x
+        lz = pos.z - origin.z
+        if not (0 <= lx < CHUNK_SIZE and 0 <= lz < CHUNK_SIZE):
+            raise KeyError(f"block {pos} is not inside chunk {self.position}")
+        if not (0 <= pos.y < CHUNK_HEIGHT):
+            raise KeyError(f"block {pos} is outside the world height range")
+        return lx, pos.y, lz
+
+    def contains(self, pos: BlockPos) -> bool:
+        origin = chunk_origin(self.position)
+        return (
+            origin.x <= pos.x < origin.x + CHUNK_SIZE
+            and origin.z <= pos.z < origin.z + CHUNK_SIZE
+            and 0 <= pos.y < CHUNK_HEIGHT
+        )
+
+    # -- block access ------------------------------------------------------------------
+
+    def get_block(self, pos: BlockPos) -> BlockType:
+        lx, ly, lz = self._local(pos)
+        return BlockType(int(self.blocks[lx, ly, lz]))
+
+    def set_block(self, pos: BlockPos, block_type: BlockType) -> None:
+        lx, ly, lz = self._local(pos)
+        self.blocks[lx, ly, lz] = int(block_type)
+        self.dirty = True
+
+    def surface_height(self, x: int, z: int) -> int:
+        """The y of the highest non-air block in the column (or 0 if empty)."""
+        origin = chunk_origin(self.position)
+        lx, lz = x - origin.x, z - origin.z
+        if not (0 <= lx < CHUNK_SIZE and 0 <= lz < CHUNK_SIZE):
+            raise KeyError(f"column ({x}, {z}) is not inside chunk {self.position}")
+        column = self.blocks[lx, :, lz]
+        non_air = np.nonzero(column)[0]
+        return int(non_air.max()) if non_air.size else 0
+
+    # -- summary helpers ----------------------------------------------------------------
+
+    def block_count(self, block_type: BlockType) -> int:
+        return int(np.count_nonzero(self.blocks == int(block_type)))
+
+    def non_air_count(self) -> int:
+        return int(np.count_nonzero(self.blocks))
+
+    def stateful_positions(self) -> list[BlockPos]:
+        """Positions of every stateful block (SC member) in this chunk."""
+        origin = chunk_origin(self.position)
+        out: list[BlockPos] = []
+        for block_type in BlockType:
+            if not is_stateful(block_type):
+                continue
+            xs, ys, zs = np.nonzero(self.blocks == int(block_type))
+            for lx, ly, lz in zip(xs, ys, zs):
+                out.append(BlockPos(origin.x + int(lx), int(ly), origin.z + int(lz)))
+        return sorted(out)
+
+    def copy(self) -> "Chunk":
+        return Chunk(
+            position=self.position,
+            blocks=self.blocks.copy(),
+            generated_by=self.generated_by,
+            dirty=self.dirty,
+        )
+
+    def content_hash(self) -> int:
+        """A stable hash of the block contents (used in tests and caching)."""
+        return hash((self.position, self.blocks.tobytes()))

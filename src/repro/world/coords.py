@@ -1,0 +1,101 @@
+"""Block and chunk coordinates.
+
+The world uses Minecraft's conventions: blocks are addressed by integer
+``(x, y, z)`` positions where ``y`` is the vertical axis; chunks are 16x16
+columns addressed by ``(cx, cz)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+CHUNK_SIZE = 16
+
+
+@dataclass(frozen=True, order=True)
+class BlockPos:
+    """An integer block position."""
+
+    x: int
+    y: int
+    z: int
+
+    def offset(self, dx: int = 0, dy: int = 0, dz: int = 0) -> "BlockPos":
+        return BlockPos(self.x + dx, self.y + dy, self.z + dz)
+
+    def neighbours(self) -> list["BlockPos"]:
+        """The six axis-aligned neighbours."""
+        return [
+            self.offset(dx=1),
+            self.offset(dx=-1),
+            self.offset(dy=1),
+            self.offset(dy=-1),
+            self.offset(dz=1),
+            self.offset(dz=-1),
+        ]
+
+    def horizontal_distance_to(self, other: "BlockPos") -> float:
+        """Euclidean distance ignoring the vertical axis (used for view range)."""
+        return math.hypot(self.x - other.x, self.z - other.z)
+
+    def manhattan_distance_to(self, other: "BlockPos") -> int:
+        return abs(self.x - other.x) + abs(self.y - other.y) + abs(self.z - other.z)
+
+
+@dataclass(frozen=True, order=True)
+class ChunkPos:
+    """A chunk column position (16x16 blocks horizontally)."""
+
+    cx: int
+    cz: int
+
+    def neighbours(self, radius: int = 1) -> list["ChunkPos"]:
+        """All chunk positions within a square ``radius`` (excluding self)."""
+        out = []
+        for dx in range(-radius, radius + 1):
+            for dz in range(-radius, radius + 1):
+                if dx == 0 and dz == 0:
+                    continue
+                out.append(ChunkPos(self.cx + dx, self.cz + dz))
+        return out
+
+    def distance_to(self, other: "ChunkPos") -> float:
+        return math.hypot(self.cx - other.cx, self.cz - other.cz)
+
+    def key(self) -> str:
+        """A stable string key used as a storage object name."""
+        return f"chunk_{self.cx}_{self.cz}"
+
+
+def block_to_chunk(pos: BlockPos) -> ChunkPos:
+    """The chunk containing a block position."""
+    return ChunkPos(pos.x // CHUNK_SIZE, pos.z // CHUNK_SIZE)
+
+
+def chunk_origin(pos: ChunkPos) -> BlockPos:
+    """The minimum-corner block position of a chunk."""
+    return BlockPos(pos.cx * CHUNK_SIZE, 0, pos.cz * CHUNK_SIZE)
+
+
+def chunks_within_blocks(center: BlockPos, radius_blocks: float) -> list[ChunkPos]:
+    """All chunk positions whose nearest edge lies within ``radius_blocks`` of ``center``.
+
+    Used by the chunk manager to decide which chunks must be loaded for a
+    player's view distance, and by the prefetcher for its slightly larger ring.
+    """
+    if radius_blocks < 0:
+        raise ValueError("radius_blocks must be non-negative")
+    center_chunk = block_to_chunk(center)
+    chunk_radius = int(math.ceil(radius_blocks / CHUNK_SIZE)) + 1
+    result = []
+    for dx in range(-chunk_radius, chunk_radius + 1):
+        for dz in range(-chunk_radius, chunk_radius + 1):
+            candidate = ChunkPos(center_chunk.cx + dx, center_chunk.cz + dz)
+            origin = chunk_origin(candidate)
+            # Nearest point of the chunk's footprint to the center.
+            nearest_x = min(max(center.x, origin.x), origin.x + CHUNK_SIZE - 1)
+            nearest_z = min(max(center.z, origin.z), origin.z + CHUNK_SIZE - 1)
+            if math.hypot(center.x - nearest_x, center.z - nearest_z) <= radius_blocks:
+                result.append(candidate)
+    return result

@@ -1,0 +1,87 @@
+"""Deterministic 2D value noise for procedural terrain generation.
+
+A light-weight substitute for the Perlin/simplex noise used by Minecraft-like
+terrain generators: seeded lattice value noise with smooth interpolation,
+composed into octaves by :class:`LayeredNoise`.  Fully deterministic for a
+given seed, so generated chunks are identical whether they are produced by the
+local generator or inside a (simulated) serverless function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _lattice_value(seed: int, ix: np.ndarray, iz: np.ndarray) -> np.ndarray:
+    """Pseudo-random value in [0, 1) for integer lattice points.
+
+    Uses a 64-bit integer hash so the value depends only on (seed, ix, iz).
+    The seed term is reduced modulo 2^63 in Python-int space to avoid numpy's
+    scalar-overflow warnings; overflow in the array arithmetic wraps, which is
+    exactly what an integer hash wants.
+    """
+    seed_term = np.int64((int(seed) * 1442695040888963407) % (2 ** 62))
+    with np.errstate(over="ignore"):
+        h = (ix.astype(np.int64) * np.int64(374761393)
+             + iz.astype(np.int64) * np.int64(668265263)
+             + seed_term)
+        h = (h ^ (h >> 13)) * np.int64(1274126177)
+        h = h ^ (h >> 16)
+    return (h & np.int64(0x7FFFFFFF)).astype(np.float64) / float(0x7FFFFFFF)
+
+
+def _smoothstep(t: np.ndarray) -> np.ndarray:
+    return t * t * (3.0 - 2.0 * t)
+
+
+@dataclass(frozen=True)
+class ValueNoise2D:
+    """Smooth 2D value noise with values in [0, 1)."""
+
+    seed: int
+    scale: float = 32.0
+
+    def sample(self, x: np.ndarray | float, z: np.ndarray | float) -> np.ndarray:
+        """Sample noise at world coordinates (x, z); accepts scalars or arrays."""
+        x_arr = np.asarray(x, dtype=np.float64) / self.scale
+        z_arr = np.asarray(z, dtype=np.float64) / self.scale
+        x0 = np.floor(x_arr).astype(np.int64)
+        z0 = np.floor(z_arr).astype(np.int64)
+        tx = _smoothstep(x_arr - x0)
+        tz = _smoothstep(z_arr - z0)
+        v00 = _lattice_value(self.seed, x0, z0)
+        v10 = _lattice_value(self.seed, x0 + 1, z0)
+        v01 = _lattice_value(self.seed, x0, z0 + 1)
+        v11 = _lattice_value(self.seed, x0 + 1, z0 + 1)
+        top = v00 * (1 - tx) + v10 * tx
+        bottom = v01 * (1 - tx) + v11 * tx
+        return top * (1 - tz) + bottom * tz
+
+
+@dataclass(frozen=True)
+class LayeredNoise:
+    """Octave composition of :class:`ValueNoise2D` (fractal Brownian motion)."""
+
+    seed: int
+    octaves: int = 4
+    base_scale: float = 64.0
+    persistence: float = 0.5
+    lacunarity: float = 2.0
+
+    def sample(self, x: np.ndarray | float, z: np.ndarray | float) -> np.ndarray:
+        """Sample layered noise in [0, 1) at world coordinates (x, z)."""
+        if self.octaves < 1:
+            raise ValueError("octaves must be >= 1")
+        total = np.zeros_like(np.asarray(x, dtype=np.float64))
+        amplitude = 1.0
+        scale = self.base_scale
+        normalizer = 0.0
+        for octave in range(self.octaves):
+            layer = ValueNoise2D(seed=self.seed + octave * 1013, scale=scale)
+            total = total + amplitude * layer.sample(x, z)
+            normalizer += amplitude
+            amplitude *= self.persistence
+            scale = max(scale / self.lacunarity, 1.0)
+        return total / normalizer

@@ -1,0 +1,141 @@
+"""Procedural terrain generation (PCG).
+
+Two world types from the paper's experimental setup (Section IV-A):
+
+* ``default`` — procedurally generated terrain with mountains, water and
+  different surface materials, built from layered value noise.
+* ``flat`` — an infinite plain, used for simulated-construct experiments.
+
+Generation is deterministic in (seed, chunk position), so a chunk generated
+inside a serverless function is bit-identical to one generated locally — the
+property Servo relies on when it offloads generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.world.block import BlockType
+from repro.world.chunk import CHUNK_HEIGHT, Chunk
+from repro.world.coords import CHUNK_SIZE, ChunkPos, chunk_origin
+from repro.world.noise import LayeredNoise
+
+SEA_LEVEL = 62
+FLAT_SURFACE_LEVEL = 64
+
+
+class TerrainGenerator:
+    """Interface for terrain generators."""
+
+    #: name used in scenario configuration ("default" or "flat")
+    world_type: str = "abstract"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def generate_chunk(self, position: ChunkPos) -> Chunk:
+        raise NotImplementedError
+
+    def generation_work_units(self) -> float:
+        """Relative computational weight of generating one chunk.
+
+        Used by the FaaS resource model and the local tick cost model to turn
+        chunk generation into virtual milliseconds.  The flat world is much
+        cheaper to produce than the default world.
+        """
+        raise NotImplementedError
+
+
+class FlatTerrainGenerator(TerrainGenerator):
+    """An infinite plain: bedrock, stone, dirt and a grass surface."""
+
+    world_type = "flat"
+
+    def generate_chunk(self, position: ChunkPos) -> Chunk:
+        chunk = Chunk(position=position, generated_by=f"flat:{self.seed}")
+        blocks = chunk.blocks
+        blocks[:, 0, :] = int(BlockType.BEDROCK)
+        blocks[:, 1:FLAT_SURFACE_LEVEL - 3, :] = int(BlockType.STONE)
+        blocks[:, FLAT_SURFACE_LEVEL - 3:FLAT_SURFACE_LEVEL, :] = int(BlockType.DIRT)
+        blocks[:, FLAT_SURFACE_LEVEL, :] = int(BlockType.GRASS)
+        chunk.dirty = False
+        return chunk
+
+    def generation_work_units(self) -> float:
+        return 0.1
+
+
+class DefaultTerrainGenerator(TerrainGenerator):
+    """Noise-based terrain with mountains, beaches, water and snow caps."""
+
+    world_type = "default"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._height_noise = LayeredNoise(seed=self.seed, octaves=5, base_scale=96.0)
+        self._roughness_noise = LayeredNoise(seed=self.seed + 7919, octaves=3, base_scale=256.0)
+        self._moisture_noise = LayeredNoise(seed=self.seed + 104729, octaves=3, base_scale=160.0)
+
+    def surface_height_at(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Surface height for world columns (vectorised)."""
+        base = self._height_noise.sample(x, z)
+        roughness = self._roughness_noise.sample(x, z)
+        # Roughness modulates the terrain amplitude: plains vs mountains.
+        amplitude = 20.0 + 70.0 * roughness
+        height = SEA_LEVEL - 10.0 + amplitude * base
+        return np.clip(np.round(height), 1, CHUNK_HEIGHT - 2).astype(np.int64)
+
+    def generate_chunk(self, position: ChunkPos) -> Chunk:
+        chunk = Chunk(position=position, generated_by=f"default:{self.seed}")
+        origin = chunk_origin(position)
+        xs = np.arange(origin.x, origin.x + CHUNK_SIZE)
+        zs = np.arange(origin.z, origin.z + CHUNK_SIZE)
+        grid_x, grid_z = np.meshgrid(xs, zs, indexing="ij")
+        heights = self.surface_height_at(grid_x, grid_z)
+        moisture = self._moisture_noise.sample(grid_x, grid_z)
+
+        blocks = chunk.blocks
+        blocks[:, 0, :] = int(BlockType.BEDROCK)
+        y_axis = np.arange(CHUNK_HEIGHT).reshape(1, CHUNK_HEIGHT, 1)
+        height_grid = heights.reshape(CHUNK_SIZE, 1, CHUNK_SIZE)
+
+        # Fill stone below the surface, dirt near the surface.
+        stone_mask = (y_axis >= 1) & (y_axis < height_grid - 3)
+        dirt_mask = (y_axis >= height_grid - 3) & (y_axis < height_grid)
+        blocks[stone_mask.nonzero()] = int(BlockType.STONE)
+        blocks[dirt_mask.nonzero()] = int(BlockType.DIRT)
+
+        # Surface material depends on altitude and moisture.
+        for lx in range(CHUNK_SIZE):
+            for lz in range(CHUNK_SIZE):
+                surface_y = int(heights[lx, lz])
+                wetness = float(moisture[lx, lz])
+                if surface_y <= SEA_LEVEL:
+                    surface = BlockType.SAND if wetness < 0.6 else BlockType.GRAVEL
+                elif surface_y >= SEA_LEVEL + 55:
+                    surface = BlockType.SNOW
+                elif wetness < 0.25:
+                    surface = BlockType.SAND
+                else:
+                    surface = BlockType.GRASS
+                blocks[lx, surface_y, lz] = int(surface)
+                # Fill water above low terrain up to sea level.
+                if surface_y < SEA_LEVEL:
+                    blocks[lx, surface_y + 1:SEA_LEVEL + 1, lz] = int(BlockType.WATER)
+
+        chunk.dirty = False
+        return chunk
+
+    def generation_work_units(self) -> float:
+        return 1.0
+
+
+def make_terrain_generator(world_type: str, seed: int = 0) -> TerrainGenerator:
+    """Create a terrain generator by name ("default" or "flat")."""
+    if world_type == "default":
+        return DefaultTerrainGenerator(seed=seed)
+    if world_type == "flat":
+        return FlatTerrainGenerator(seed=seed)
+    raise ValueError(f"unknown world type {world_type!r} (expected 'default' or 'flat')")

@@ -1,0 +1,20 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import SimulationEngine
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    """A fresh simulation engine with a fixed seed."""
+    return SimulationEngine(seed=1234)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy generator for latency-model tests."""
+    return np.random.default_rng(99)

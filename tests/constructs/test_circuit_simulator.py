@@ -1,0 +1,210 @@
+"""Tests for constructs, the step simulator and state snapshots."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constructs.circuit import Cell, SimulatedConstruct
+from repro.constructs.components import ComponentType
+from repro.constructs.library import (
+    build_clock,
+    build_counter_farm,
+    build_lamp_grid,
+    build_oscillator,
+    build_sized_construct,
+    build_wire_line,
+    standard_construct,
+)
+from repro.constructs.simulator import ConstructSimulator, clone_construct
+from repro.constructs.state import ConstructState, state_hash
+from repro.world.coords import BlockPos
+
+
+def test_construct_requires_cells():
+    with pytest.raises(ValueError):
+        SimulatedConstruct([])
+
+
+def test_construct_rejects_duplicate_positions():
+    cell = Cell(BlockPos(0, 64, 0), ComponentType.WIRE)
+    with pytest.raises(ValueError):
+        SimulatedConstruct([cell, Cell(BlockPos(0, 64, 0), ComponentType.LAMP)])
+
+
+def test_wire_line_propagates_power_one_block_per_step():
+    construct = build_wire_line(length=5)
+    simulator = ConstructSimulator()
+    lamp_pos = construct.positions[-1]
+    lamp_states = []
+    for _ in range(8):
+        simulator.step(construct)
+        lamp_states.append(construct.cell_at(lamp_pos).state)
+    # The lamp eventually turns on and stays on.
+    assert lamp_states[-1] == 1
+    assert 0 in lamp_states  # it was off while the signal propagated
+
+
+def test_wire_line_without_power_stays_dark():
+    construct = build_wire_line(length=3, powered=False)
+    simulator = ConstructSimulator()
+    for _ in range(6):
+        simulator.step(construct)
+    lamp_pos = construct.positions[-1]
+    assert construct.cell_at(lamp_pos).state == 0
+
+
+def test_clock_circuit_state_is_periodic():
+    construct = build_clock(period=4, lamps=1)
+    simulator = ConstructSimulator()
+    digests = [simulator.step(construct).digest() for _ in range(24)]
+    # After a transient, the state sequence repeats with the clock period.
+    assert digests[8:16] == digests[12:20]
+
+
+def test_oscillator_toggles_lamp():
+    construct = build_oscillator()
+    simulator = ConstructSimulator()
+    lamp_pos = [c.position for c in construct.cells if c.component is ComponentType.LAMP][0]
+    seen_states = set()
+    for _ in range(16):
+        simulator.step(construct)
+        seen_states.add(construct.cell_at(lamp_pos).state)
+    assert seen_states == {0, 1}
+
+
+def test_counter_farm_state_never_repeats():
+    construct = build_counter_farm(hoppers=2)
+    simulator = ConstructSimulator()
+    digests = [simulator.step(construct).digest() for _ in range(40)]
+    assert len(set(digests)) == len(digests)
+
+
+def test_simulator_run_collects_trace_and_counts_work():
+    construct = build_wire_line(length=3)
+    simulator = ConstructSimulator()
+    trace = simulator.run(construct, steps=10)
+    assert trace.steps == 10
+    assert trace.cell_updates == 10 * construct.block_count
+    assert trace.final_state().step == construct.step
+
+
+def test_simulate_detached_does_not_mutate_original():
+    construct = build_clock(period=4)
+    simulator = ConstructSimulator()
+    before = construct.snapshot()
+    trace = simulator.simulate_detached(construct, steps=12)
+    assert trace.steps == 12
+    assert construct.snapshot().same_values(before)
+    assert construct.step == 0
+
+
+def test_clone_construct_preserves_identity_and_state():
+    construct = build_lamp_grid(3, 2)
+    construct.step = 5
+    clone = clone_construct(construct)
+    assert clone.construct_id == construct.construct_id
+    assert clone.step == 5
+    assert clone.snapshot().same_values(construct.snapshot())
+    clone.cells[0].state = 99
+    assert construct.cells[0].state != 99
+
+
+def test_snapshot_and_apply_state_round_trip():
+    construct = build_wire_line(length=4)
+    simulator = ConstructSimulator()
+    for _ in range(3):
+        simulator.step(construct)
+    snapshot = construct.snapshot()
+    for _ in range(5):
+        simulator.step(construct)
+    construct.apply_state(snapshot)
+    assert construct.step == snapshot.step
+    assert construct.snapshot().same_values(snapshot)
+
+
+def test_apply_state_rejects_unknown_positions():
+    construct = build_wire_line(length=2)
+    with pytest.raises(KeyError):
+        construct.apply_state({BlockPos(99, 99, 99): 1}, step=1)
+
+
+def test_apply_state_requires_step_for_raw_mapping():
+    construct = build_wire_line(length=2)
+    with pytest.raises(ValueError):
+        construct.apply_state({construct.positions[0]: 1})
+
+
+def test_copy_state_from_requires_same_shape():
+    a = build_wire_line(length=2)
+    b = build_wire_line(length=3)
+    with pytest.raises(ValueError):
+        a.copy_state_from(b)
+
+
+def test_player_modify_advances_logical_timestamp():
+    construct = build_wire_line(length=2, powered=False)
+    assert construct.modification_counter == 0
+    construct.player_modify(construct.positions[0], new_state=1)
+    assert construct.modification_counter == 1
+    construct.player_modify(BlockPos(500, 64, 500))  # nearby terrain edit
+    assert construct.modification_counter == 2
+
+
+def test_toggle_lever_flips_state():
+    construct = build_wire_line(length=2, powered=False)
+    lever_pos = construct.positions[0]
+    construct.toggle_lever(lever_pos)
+    assert construct.cell_at(lever_pos).state == 1
+    construct.toggle_lever(lever_pos)
+    assert construct.cell_at(lever_pos).state == 0
+    with pytest.raises(ValueError):
+        construct.toggle_lever(construct.positions[1])
+
+
+def test_state_hash_is_order_independent_and_stable():
+    states_a = {BlockPos(0, 0, 0): 1, BlockPos(1, 0, 0): 2}
+    states_b = {BlockPos(1, 0, 0): 2, BlockPos(0, 0, 0): 1}
+    assert state_hash(states_a) == state_hash(states_b)
+    assert state_hash({BlockPos(0, 0, 0): 3}) != state_hash({BlockPos(0, 0, 0): 4})
+
+
+def test_construct_state_equality_and_membership():
+    state = ConstructState(step=3, states={BlockPos(0, 0, 0): 1})
+    same = ConstructState(step=3, states={BlockPos(0, 0, 0): 1})
+    other_step = ConstructState(step=4, states={BlockPos(0, 0, 0): 1})
+    assert state == same
+    assert state != other_step
+    assert state.same_values(other_step)
+    assert len(state) == 1
+    assert state.value(BlockPos(0, 0, 0)) == 1
+
+
+def test_sized_construct_hits_target_block_count():
+    for target in (50, 252, 484):
+        construct = build_sized_construct(target)
+        assert construct.block_count == target
+
+
+def test_sized_construct_aperiodic_variant_contains_hopper():
+    construct = build_sized_construct(60, looping=False)
+    components = {cell.component for cell in construct.cells}
+    assert ComponentType.HOPPER in components
+
+
+def test_standard_construct_spreads_instances():
+    first = standard_construct(0)
+    second = standard_construct(1)
+    assert first.anchor() != second.anchor()
+    assert first.block_count == second.block_count
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=12))
+def test_deterministic_simulation_for_any_clock_period(period):
+    """Two identical constructs simulated independently stay in lockstep."""
+    a = build_clock(period=period)
+    b = build_clock(period=period)
+    simulator = ConstructSimulator()
+    for _ in range(3 * period):
+        state_a = simulator.step(a)
+        state_b = simulator.step(b)
+        assert state_a.same_values(state_b)

@@ -1,0 +1,126 @@
+"""Tests for offload requests/replies and the remote simulation handler."""
+
+import pytest
+
+from repro.constructs.library import build_clock, build_counter_farm, build_sized_construct
+from repro.constructs.simulator import ConstructSimulator, clone_construct
+from repro.core.offload import (
+    OffloadReply,
+    OffloadRequest,
+    make_simulation_handler,
+    simulation_work_ms,
+)
+from repro.world.coords import BlockPos
+
+
+def test_request_captures_construct_state_and_timestamp():
+    construct = build_clock(period=4)
+    construct.player_modify(construct.positions[0])
+    request = OffloadRequest.from_construct(construct, steps=20)
+    assert request.construct_id == construct.construct_id
+    assert request.steps == 20
+    assert request.start_step == construct.step
+    assert request.timestamp == construct.modification_counter == 1
+    assert len(request.structure) == construct.block_count
+    assert len(request.states) == construct.block_count
+
+
+def test_request_rebuild_matches_original():
+    construct = build_clock(period=6)
+    ConstructSimulator().run(construct, 5)
+    request = OffloadRequest.from_construct(construct, steps=10)
+    rebuilt = request.rebuild_construct()
+    assert rebuilt.block_count == construct.block_count
+    assert rebuilt.step == construct.step
+    assert rebuilt.snapshot().same_values(construct.snapshot())
+
+
+def test_request_anchor_and_relative_states_are_translation_invariant():
+    at_origin = build_clock(period=4, origin=BlockPos(0, 64, 0))
+    translated = build_clock(period=4, origin=BlockPos(320, 70, -48))
+    request_a = OffloadRequest.from_construct(at_origin, steps=10)
+    request_b = OffloadRequest.from_construct(translated, steps=10)
+    assert request_a.relative_states() == request_b.relative_states()
+    assert request_a.cache_key() == request_b.cache_key()
+    assert request_a.anchor() == (0, 64, 0)
+    assert request_b.anchor() == (320, 70, -48)
+
+
+def test_simulation_work_grows_with_size_and_steps():
+    assert simulation_work_ms(484, 100) > simulation_work_ms(252, 100)
+    assert simulation_work_ms(252, 200) > simulation_work_ms(252, 100)
+    with pytest.raises(ValueError):
+        simulation_work_ms(0, 10)
+    with pytest.raises(ValueError):
+        simulation_work_ms(10, -1)
+
+
+def test_handler_reply_matches_local_simulation():
+    construct = build_counter_farm(hoppers=3)
+    handler = make_simulation_handler()
+    request = OffloadRequest.from_construct(construct, steps=25, detect_loops=False)
+    output = handler(request)
+    reply = output.value
+    assert isinstance(reply, OffloadReply)
+    assert reply.simulated_steps == 25
+    assert not reply.loop_detected
+
+    # The reply's states must equal what the server would compute locally.
+    local = clone_construct(construct)
+    simulator = ConstructSimulator()
+    for step in range(1, 26):
+        expected = simulator.step(local)
+        assert reply.sequence.state_at(step).same_values(expected)
+
+
+def test_handler_detects_loops_and_stops_early():
+    construct = build_clock(period=4, lamps=1)
+    handler = make_simulation_handler()
+    request = OffloadRequest.from_construct(construct, steps=200, detect_loops=True)
+    output = handler(request)
+    reply = output.value
+    assert reply.loop_detected
+    assert reply.simulated_steps < 200
+    assert output.work_ms_single_vcpu < simulation_work_ms(construct.block_count, 200)
+    # The looping sequence still matches direct simulation far into the future.
+    local = clone_construct(construct)
+    simulator = ConstructSimulator()
+    for step in range(1, 60):
+        expected = simulator.step(local)
+        assert reply.sequence.state_at(step).same_values(expected)
+
+
+def test_handler_echoes_timestamp():
+    construct = build_clock(period=4)
+    construct.player_modify(construct.positions[0])
+    construct.player_modify(construct.positions[0])
+    handler = make_simulation_handler()
+    reply = handler(OffloadRequest.from_construct(construct, steps=5)).value
+    assert reply.timestamp == 2
+
+
+def test_handler_memoises_identical_requests_across_translations():
+    handler = make_simulation_handler()
+    first = build_sized_construct(60, origin=BlockPos(0, 64, 0))
+    second = build_sized_construct(60, origin=BlockPos(512, 64, 512))
+    reply_a = handler(OffloadRequest.from_construct(first, steps=30)).value
+    reply_b = handler(OffloadRequest.from_construct(second, steps=30)).value
+    # Same dynamics, but each reply is expressed in its own world coordinates.
+    state_a = reply_a.sequence.state_at(5)
+    state_b = reply_b.sequence.state_at(5)
+    assert state_a.states != state_b.states
+    assert sorted(state_a.states.values()) == sorted(state_b.states.values())
+
+
+def test_handler_rejects_non_request_payloads():
+    handler = make_simulation_handler()
+    with pytest.raises(TypeError):
+        handler({"not": "a request"})
+
+
+def test_handler_work_reflects_requested_steps_for_aperiodic_constructs():
+    handler = make_simulation_handler()
+    construct = build_counter_farm(hoppers=2)
+    short = handler(OffloadRequest.from_construct(construct, steps=10, detect_loops=True))
+    long = handler(OffloadRequest.from_construct(construct, steps=50, detect_loops=True))
+    assert long.work_ms_single_vcpu > short.work_ms_single_vcpu

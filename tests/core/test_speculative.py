@@ -1,0 +1,167 @@
+"""Tests for the speculative execution unit (Servo's construct backend)."""
+
+import pytest
+
+from repro.constructs.library import build_clock, build_counter_farm, standard_construct
+from repro.constructs.simulator import ConstructSimulator
+from repro.core import ServoConfig
+from repro.core.offload import SC_SIMULATION_FUNCTION, make_simulation_handler
+from repro.core.speculative import SpeculativeConstructBackend
+from repro.faas import AWS_LAMBDA, FaasPlatform, FunctionDefinition
+from repro.sim import SimulationEngine
+
+
+def make_backend(engine, config=None):
+    platform = FaasPlatform(engine, provider=AWS_LAMBDA)
+    platform.register(
+        FunctionDefinition(
+            name=SC_SIMULATION_FUNCTION, handler=make_simulation_handler(), memory_mb=1769
+        )
+    )
+    backend = SpeculativeConstructBackend(engine, platform, config or ServoConfig())
+    return backend, platform
+
+
+def run_ticks(engine, backend, ticks, tick_ms=50.0):
+    reports = []
+    for tick in range(ticks):
+        reports.append(backend.tick(tick))
+        engine.advance_by(tick_ms)
+    return reports
+
+
+def test_registration_issues_the_first_invocation(engine):
+    backend, platform = make_backend(engine)
+    backend.register_construct(build_counter_farm(hoppers=2))
+    assert platform.billing.invocation_count == 1
+    assert engine.metrics.counter("offload_invocations") == 1
+
+
+def test_constructs_advance_exactly_one_step_per_tick(engine):
+    backend, _ = make_backend(engine)
+    construct = build_counter_farm(hoppers=2)
+    backend.register_construct(construct)
+    run_ticks(engine, backend, 40)
+    assert construct.step == 40
+
+
+def test_fallback_until_reply_then_merge(engine):
+    backend, platform = make_backend(engine)
+    construct = build_counter_farm(hoppers=2)
+    backend.register_construct(construct)
+    # 150 ticks (7.5 s) comfortably covers the worst-case cold start (~5 s).
+    reports = run_ticks(engine, backend, 150)
+    merged = sum(report.merged_speculative for report in reports)
+    fallback = sum(report.simulated_locally for report in reports)
+    assert fallback > 0, "cold-start latency must be hidden by local simulation"
+    assert merged > 0, "speculative states must eventually be applied"
+    assert merged + fallback == 150
+
+
+def test_speculative_states_match_pure_local_simulation(engine):
+    """The observable construct state is identical with and without offloading."""
+    backend, _ = make_backend(engine)
+    construct = build_counter_farm(hoppers=3)
+    reference = build_counter_farm(hoppers=3)
+    reference.copy_state_from(construct)
+    backend.register_construct(construct)
+    simulator = ConstructSimulator()
+    for tick in range(80):
+        backend.tick(tick)
+        simulator.step(reference)
+        engine.advance_by(50.0)
+        assert [cell.state for cell in construct.cells] == [
+            cell.state for cell in reference.cells
+        ]
+
+
+def test_looping_construct_needs_only_one_invocation(engine):
+    backend, platform = make_backend(engine)
+    construct = build_clock(period=4, lamps=1)
+    backend.register_construct(construct)
+    run_ticks(engine, backend, 300)
+    assert platform.billing.invocation_count == 1
+    assert engine.metrics.counter("loops_detected") == 1
+
+
+def test_aperiodic_construct_reinvokes_with_tick_lead(engine):
+    config = ServoConfig(steps_per_invocation=50, tick_lead=10)
+    backend, platform = make_backend(engine, config)
+    construct = build_counter_farm(hoppers=2)
+    backend.register_construct(construct)
+    run_ticks(engine, backend, 200)
+    # 200 ticks / 50 steps per invocation -> roughly 4-6 invocations.
+    assert 3 <= platform.billing.invocation_count <= 7
+
+
+def test_player_modification_invalidates_speculation(engine):
+    backend, platform = make_backend(engine)
+    construct = build_counter_farm(hoppers=2)
+    backend.register_construct(construct)
+    run_ticks(engine, backend, 150)
+    record = backend.record_for(construct.construct_id)
+    assert record.available, "speculative coverage should exist before the edit"
+    backend.on_player_modify(construct.construct_id, construct.positions[0])
+    assert not record.available
+    assert engine.metrics.counter("speculation_invalidated") == 1
+    # The construct still advances every tick after the edit (fallback path).
+    step_before = construct.step
+    run_ticks(engine, backend, 10)
+    assert construct.step == step_before + 10
+
+
+def test_stale_replies_are_discarded(engine):
+    config = ServoConfig(steps_per_invocation=30, tick_lead=5)
+    backend, platform = make_backend(engine, config)
+    construct = build_counter_farm(hoppers=2)
+    backend.register_construct(construct)
+    # Modify the construct while the first invocation is still in flight.
+    backend.on_player_modify(construct.construct_id, construct.positions[0])
+    run_ticks(engine, backend, 120)
+    assert engine.metrics.counter("speculation_discarded") >= 1
+    assert construct.step == 120
+
+
+def test_efficiency_samples_are_recorded_between_zero_and_one(engine):
+    backend, _ = make_backend(engine)
+    backend.register_construct(build_counter_farm(hoppers=2))
+    run_ticks(engine, backend, 120)
+    samples = backend.efficiency_samples()
+    assert samples, "each consumed invocation must produce an efficiency sample"
+    assert all(0.0 <= value <= 1.0 for value in samples)
+
+
+def test_sufficient_tick_lead_reaches_full_efficiency(engine):
+    config = ServoConfig(steps_per_invocation=50, tick_lead=30)
+    backend, _ = make_backend(engine, config)
+    construct = build_counter_farm(hoppers=2)
+    backend.register_construct(construct)
+    run_ticks(engine, backend, 400)
+    samples = backend.efficiency_samples()
+    # After the first (cold) invocation, replies arrive well before they are
+    # needed, so later invocations reach 100 % efficiency.
+    assert samples[-1] == pytest.approx(1.0)
+    assert sum(1 for value in samples if value >= 0.999) >= len(samples) - 2
+
+
+def test_remove_construct_stops_offloading(engine):
+    backend, platform = make_backend(engine)
+    construct = build_counter_farm(hoppers=2)
+    backend.register_construct(construct)
+    backend.remove_construct(construct.construct_id)
+    run_ticks(engine, backend, 50)
+    assert platform.billing.invocation_count == 1  # only the registration invocation
+    with pytest.raises(KeyError):
+        backend.record_for(construct.construct_id)
+
+
+def test_multiple_identical_constructs_stay_in_lockstep(engine):
+    backend, _ = make_backend(engine)
+    constructs = [standard_construct(index) for index in range(5)]
+    for construct in constructs:
+        backend.register_construct(construct)
+    run_ticks(engine, backend, 60)
+    reference_states = [cell.state for cell in constructs[0].cells]
+    for construct in constructs[1:]:
+        assert [cell.state for cell in construct.cells] == reference_states
+        assert construct.step == constructs[0].step

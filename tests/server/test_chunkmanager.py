@@ -1,0 +1,190 @@
+"""Tests for chunk management: loading, generation, streaming, eviction."""
+
+import pytest
+
+from repro.server.chunkmanager import ChunkManager, LocalTerrainProvider
+from repro.server.entities import Avatar
+from repro.sim import SimulationEngine
+from repro.storage.local import LocalDiskStorage
+from repro.world.coords import BlockPos, ChunkPos
+from repro.world.serialization import chunk_to_bytes
+from repro.world.terrain import FlatTerrainGenerator
+from repro.world.world import VoxelWorld
+
+
+def make_manager(engine, storage=None, view_distance=48.0, workers=2):
+    generator = FlatTerrainGenerator(seed=1)
+    world = VoxelWorld()
+    provider = LocalTerrainProvider(engine, generator, workers=workers, work_ms=100.0)
+    manager = ChunkManager(
+        engine=engine,
+        world=world,
+        generator=generator,
+        provider=provider,
+        storage=storage,
+        view_distance_blocks=view_distance,
+        max_integrations_per_tick=4,
+        eviction_interval_ticks=5,
+    )
+    return manager, world, provider
+
+
+def avatar_at(x, z, player_id=1):
+    return Avatar(player_id=player_id, name=f"p{player_id}", position=BlockPos(x, 65, z))
+
+
+def test_preload_area_loads_chunks_synchronously(engine):
+    manager, world, _ = make_manager(engine)
+    loaded = manager.preload_area(BlockPos(0, 65, 0), 32.0)
+    assert loaded > 0
+    assert world.loaded_chunk_count == loaded
+    # preloading again does nothing
+    assert manager.preload_area(BlockPos(0, 65, 0), 32.0) == 0
+
+
+def test_missing_chunks_are_requested_and_eventually_integrated(engine):
+    manager, world, provider = make_manager(engine)
+    avatar = avatar_at(0, 0)
+    report = manager.update([avatar])
+    assert report.chunks_requested > 0
+    assert manager.pending_chunks > 0
+    assert world.loaded_chunk_count == 0
+    # Let the provider finish and integrate over a few ticks.
+    total_integrated = 0
+    for _ in range(40):
+        engine.advance_by(100.0)
+        total_integrated += manager.update([avatar]).chunks_integrated
+    assert total_integrated > 0
+    assert world.loaded_chunk_count > 0
+    assert manager.pending_chunks == 0
+
+
+def test_integrations_are_bounded_per_tick(engine):
+    manager, world, _ = make_manager(engine)
+    avatar = avatar_at(0, 0)
+    manager.update([avatar])
+    engine.advance_by(60_000.0)  # let every generation finish
+    report = manager.update([avatar])
+    assert report.chunks_integrated <= manager.max_integrations_per_tick
+
+
+def test_chunks_load_from_storage_when_persisted(engine):
+    storage = LocalDiskStorage(rng=engine.rng("disk"))
+    manager, world, provider = make_manager(engine, storage=storage)
+    generator = FlatTerrainGenerator(seed=1)
+    # Persist the chunk the avatar stands on before it is ever requested.
+    chunk = generator.generate_chunk(ChunkPos(0, 0))
+    storage.write(ChunkPos(0, 0).key(), chunk_to_bytes(chunk))
+    manager.update([avatar_at(0, 0)])
+    engine.advance_by(1_000.0)
+    manager.update([avatar_at(0, 0)])
+    assert engine.metrics.counter("chunks_loaded_from_storage") >= 1
+
+
+def test_terrain_retrieval_latency_is_recorded(engine):
+    manager, _, _ = make_manager(engine)
+    manager.update([avatar_at(0, 0)])
+    engine.advance_by(30_000.0)
+    manager.update([avatar_at(0, 0)])
+    histogram = engine.metrics.histogram("terrain_retrieval_ms")
+    assert len(histogram) > 0
+    assert min(histogram.samples) > 0
+
+
+def test_view_range_reports_distance_to_missing_terrain(engine):
+    manager, _, _ = make_manager(engine, view_distance=64.0)
+    report = manager.update([avatar_at(0, 0)])
+    # Nothing is loaded yet: the closest missing chunk is the one under the avatar.
+    assert report.min_view_range_blocks < 16.0
+    manager.preload_area(BlockPos(0, 65, 0), 96.0)
+    report = manager.update([avatar_at(0, 0)])
+    assert report.min_view_range_blocks == 64.0
+
+
+def test_streaming_counts_only_new_chunks_for_moving_players(engine):
+    manager, _, _ = make_manager(engine, view_distance=48.0)
+    manager.preload_area(BlockPos(0, 65, 0), 300.0)
+    avatar = avatar_at(0, 0)
+    first = manager.update([avatar])
+    # The initial view download is not charged to the game loop.
+    assert first.chunks_streamed == 0
+    # Crossing into a new chunk streams the newly visible column of chunks.
+    avatar.position = BlockPos(16, 65, 0)
+    streamed = 0
+    for _ in range(10):
+        streamed += manager.update([avatar]).chunks_streamed
+    assert streamed > 0
+    # Moving back over already-sent terrain streams nothing new.
+    avatar.position = BlockPos(0, 65, 0)
+    manager.update([avatar])
+    again = sum(manager.update([avatar]).chunks_streamed for _ in range(5))
+    assert again == 0
+
+
+def test_eviction_removes_far_chunks_and_persists_dirty_ones(engine):
+    storage = LocalDiskStorage(rng=engine.rng("disk"))
+    manager, world, _ = make_manager(engine, storage=storage, view_distance=32.0)
+    manager.preload_area(BlockPos(0, 65, 0), 48.0)
+    # Dirty one chunk so eviction must persist it.
+    world.set_block(BlockPos(0, 64, 0), world.get_block(BlockPos(0, 64, 0)))
+    world.get_chunk(ChunkPos(0, 0)).dirty = True
+    avatar = avatar_at(2000, 2000)
+    evicted_total = 0
+    for _ in range(manager.eviction_interval_ticks + 1):
+        evicted_total += manager.update([avatar]).chunks_evicted
+    assert evicted_total > 0
+    assert storage.exists(ChunkPos(0, 0).key())
+    assert not world.is_loaded(ChunkPos(0, 0))
+
+
+def test_protected_chunks_survive_eviction(engine):
+    manager, world, _ = make_manager(engine, view_distance=32.0)
+    manager.preload_area(BlockPos(0, 65, 0), 16.0)
+    manager.protect([ChunkPos(0, 0)])
+    avatar = avatar_at(5000, 5000)
+    for _ in range(manager.eviction_interval_ticks + 1):
+        manager.update([avatar])
+    assert world.is_loaded(ChunkPos(0, 0))
+
+
+def test_forget_player_releases_view_references(engine):
+    manager, _, _ = make_manager(engine)
+    manager.preload_area(BlockPos(0, 65, 0), 200.0)
+    manager.update([avatar_at(0, 0, player_id=7)])
+    assert manager._chunk_refcounts
+    manager.forget_player(7)
+    assert not manager._chunk_refcounts
+
+
+def test_persist_dirty_writes_every_dirty_chunk(engine):
+    storage = LocalDiskStorage(rng=engine.rng("disk"))
+    manager, world, _ = make_manager(engine, storage=storage)
+    manager.preload_area(BlockPos(0, 65, 0), 32.0)
+    for chunk in world:
+        chunk.dirty = True
+    written = manager.persist_dirty()
+    assert written == world.loaded_chunk_count
+    assert all(not chunk.dirty for chunk in world)
+    # Without storage the call is a no-op.
+    manager_no_storage, world2, _ = make_manager(SimulationEngine(seed=2))
+    assert manager_no_storage.persist_dirty() == 0
+
+
+def test_local_provider_throughput_is_limited_by_workers(engine):
+    generator = FlatTerrainGenerator(seed=0)
+    provider = LocalTerrainProvider(engine, generator, workers=1, work_ms=200.0)
+    completions = []
+    for index in range(6):
+        provider.request(ChunkPos(index, 0), lambda chunk, result: completions.append(engine.now_ms))
+    assert provider.pending_count() == 6
+    engine.advance_by(650.0)
+    # One worker at 200 ms per chunk finishes roughly three chunks in 650 ms.
+    assert 2 <= len(completions) <= 4
+    engine.advance_by(10_000.0)
+    assert len(completions) == 6
+    assert provider.pending_count() == 0
+
+
+def test_local_provider_requires_a_worker(engine):
+    with pytest.raises(ValueError):
+        LocalTerrainProvider(engine, FlatTerrainGenerator(seed=0), workers=0)

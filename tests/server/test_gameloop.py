@@ -1,0 +1,156 @@
+"""Integration tests for the game loop and the baseline variants."""
+
+import pytest
+
+from repro.constructs.library import build_wire_line, standard_construct
+from repro.net.message import Message, MessageKind
+from repro.server import GameConfig, make_minecraft, make_opencraft
+from repro.sim import SimulationEngine
+from repro.world.block import BlockType
+from repro.world.coords import BlockPos
+
+
+@pytest.fixture
+def opencraft(engine):
+    server = make_opencraft(engine, GameConfig(world_type="flat"))
+    server.chunks.preload_area(server.config.spawn_position, 96.0)
+    return server
+
+
+def test_game_config_validation():
+    with pytest.raises(ValueError):
+        GameConfig(simulation_rate_hz=0)
+    with pytest.raises(ValueError):
+        GameConfig(world_type="martian")
+    assert GameConfig().tick_interval_ms == pytest.approx(50.0)
+
+
+def test_connect_and_disconnect_players(opencraft):
+    session = opencraft.connect_player("alice")
+    assert opencraft.player_count == 1
+    assert session.avatar.position == opencraft.config.spawn_position
+    opencraft.disconnect_player(session.player_id)
+    assert opencraft.player_count == 0
+    with pytest.raises(KeyError):
+        opencraft.disconnect_player(session.player_id)
+
+
+def test_tick_advances_virtual_time_by_at_least_the_budget(opencraft, engine):
+    before = engine.now_ms
+    record = opencraft.tick()
+    assert engine.now_ms >= before + opencraft.config.tick_interval_ms
+    assert record.duration_ms > 0
+    assert opencraft.tick_index == 1
+
+
+def test_overlong_tick_delays_the_next_one(opencraft, engine):
+    # 200 constructs make every other tick exceed the 50 ms budget.
+    for index in range(200):
+        opencraft.place_construct(standard_construct(index))
+    opencraft.tick()
+    start_second = engine.now_ms
+    record = opencraft.tick()  # construct tick (index 1 is odd; force a couple)
+    opencraft.tick()
+    assert engine.now_ms > start_second
+    assert max(r.duration_ms for r in opencraft.tick_records) > 50.0
+
+
+def test_move_messages_update_avatars(opencraft):
+    session = opencraft.connect_player()
+    session.move(20, 65, 20)
+    opencraft.tick()
+    assert session.avatar.position == BlockPos(20, 65, 20)
+    assert opencraft.stats.messages_processed == 1
+
+
+def test_place_and_break_block_messages_edit_the_world(opencraft):
+    session = opencraft.connect_player()
+    target = BlockPos(4, 70, 4)
+    session.enqueue(
+        Message(MessageKind.PLACE_BLOCK, session.player_id,
+                {"x": target.x, "y": target.y, "z": target.z, "block": int(BlockType.WOOD)})
+    )
+    opencraft.tick()
+    assert opencraft.world.get_block(target) == BlockType.WOOD
+    session.enqueue(
+        Message(MessageKind.BREAK_BLOCK, session.player_id,
+                {"x": target.x, "y": target.y, "z": target.z})
+    )
+    opencraft.tick()
+    assert opencraft.world.get_block(target) == BlockType.AIR
+    assert opencraft.stats.blocks_placed == 1
+    assert opencraft.stats.blocks_broken == 1
+
+
+def test_edits_in_unloaded_terrain_are_ignored(opencraft):
+    session = opencraft.connect_player()
+    session.enqueue(
+        Message(MessageKind.PLACE_BLOCK, session.player_id, {"x": 10_000, "y": 70, "z": 10_000})
+    )
+    opencraft.tick()  # must not raise
+    assert opencraft.stats.blocks_placed == 0
+
+
+def test_chat_and_inventory_messages_update_counters(opencraft):
+    session = opencraft.connect_player()
+    session.chat("hello")
+    session.enqueue(Message(MessageKind.SET_INVENTORY, session.player_id, {"item": "torch"}))
+    opencraft.tick()
+    assert session.avatar.chat_messages_sent == 1
+    assert session.avatar.inventory_item == "torch"
+
+
+def test_place_construct_writes_blocks_and_registers(opencraft):
+    construct = build_wire_line(length=3, origin=BlockPos(2, 66, 2))
+    opencraft.place_construct(construct)
+    assert opencraft.construct_count == 1
+    assert opencraft.world.get_block(BlockPos(2, 66, 2)) == BlockType.POWER_SOURCE
+    opencraft.remove_construct(construct.construct_id)
+    assert opencraft.construct_count == 0
+
+
+def test_breaking_a_construct_block_advances_its_timestamp(opencraft):
+    construct = build_wire_line(length=3, origin=BlockPos(2, 66, 2))
+    opencraft.place_construct(construct)
+    session = opencraft.connect_player()
+    session.enqueue(
+        Message(MessageKind.BREAK_BLOCK, session.player_id, {"x": 3, "y": 66, "z": 2})
+    )
+    opencraft.tick()
+    assert construct.modification_counter == 1
+
+
+def test_run_for_seconds_executes_expected_tick_count(opencraft, engine):
+    records = opencraft.run_for_seconds(2.0)
+    assert 35 <= len(records) <= 41
+    assert opencraft.stats.ticks_executed == len(records)
+
+
+def test_tick_metrics_are_recorded(opencraft, engine):
+    opencraft.run_ticks(10)
+    assert len(engine.metrics.histogram("tick_duration_ms")) == 10
+    assert len(engine.metrics.series("tick_duration_over_time")) == 10
+    assert opencraft.fraction_of_ticks_over_budget() >= 0.0
+
+
+def test_player_data_is_persisted_and_loaded(engine):
+    server = make_opencraft(engine, GameConfig(world_type="flat"))
+    server.connect_player("bob")
+    assert server.storage.exists("player_bob")
+    server.disconnect_player(1)
+    server.connect_player("bob")
+    assert len(engine.metrics.histogram("player_load_ms")) == 1
+
+
+def test_minecraft_variant_uses_its_own_cost_model():
+    engine_a, engine_b = SimulationEngine(seed=5), SimulationEngine(seed=5)
+    opencraft = make_opencraft(engine_a, GameConfig(world_type="flat"))
+    minecraft = make_minecraft(engine_b, GameConfig(world_type="flat"))
+    assert opencraft.cost_model.name == "opencraft"
+    assert minecraft.cost_model.name == "minecraft"
+    assert minecraft.cost_model.per_player_ms > opencraft.cost_model.per_player_ms
+
+
+def test_fraction_over_budget_requires_ticks(opencraft):
+    with pytest.raises(ValueError):
+        opencraft.fraction_of_ticks_over_budget()

@@ -1,0 +1,67 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import ClockError, SimulationClock
+
+
+def test_clock_starts_at_zero_by_default():
+    clock = SimulationClock()
+    assert clock.now_ms == 0.0
+    assert clock.now_s == 0.0
+
+
+def test_clock_starts_at_custom_time():
+    clock = SimulationClock(start_ms=250.0)
+    assert clock.now_ms == 250.0
+
+
+def test_advance_moves_time_forward():
+    clock = SimulationClock()
+    assert clock.advance(50.0) == 50.0
+    assert clock.advance(25.5) == 75.5
+    assert clock.now_ms == 75.5
+
+
+def test_advance_by_zero_is_allowed():
+    clock = SimulationClock(start_ms=10.0)
+    clock.advance(0.0)
+    assert clock.now_ms == 10.0
+
+
+def test_advance_negative_raises():
+    clock = SimulationClock()
+    with pytest.raises(ClockError):
+        clock.advance(-1.0)
+
+
+def test_advance_to_absolute_time():
+    clock = SimulationClock()
+    clock.advance_to(123.0)
+    assert clock.now_ms == 123.0
+
+
+def test_advance_to_current_time_is_noop():
+    clock = SimulationClock(start_ms=42.0)
+    clock.advance_to(42.0)
+    assert clock.now_ms == 42.0
+
+
+def test_advance_to_past_raises():
+    clock = SimulationClock(start_ms=100.0)
+    with pytest.raises(ClockError):
+        clock.advance_to(99.0)
+
+
+def test_now_s_converts_milliseconds():
+    clock = SimulationClock(start_ms=1500.0)
+    assert clock.now_s == pytest.approx(1.5)
+
+
+def test_reset_returns_clock_to_start():
+    clock = SimulationClock()
+    clock.advance(500.0)
+    clock.reset()
+    assert clock.now_ms == 0.0
+    clock.reset(start_ms=77.0)
+    assert clock.now_ms == 77.0

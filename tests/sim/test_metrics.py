@@ -1,0 +1,115 @@
+"""Tests for metric containers and summary statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.metrics import (
+    Histogram,
+    MetricRegistry,
+    TimeSeries,
+    boxplot_stats,
+    fraction_exceeding,
+    inverse_cdf,
+    percentile,
+)
+
+
+def test_percentile_basic_values():
+    samples = list(range(1, 101))
+    assert percentile(samples, 0) == 1
+    assert percentile(samples, 100) == 100
+    assert percentile(samples, 50) == pytest.approx(50.5)
+
+
+def test_percentile_rejects_empty_and_out_of_range():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_boxplot_stats_fields_are_ordered():
+    stats = boxplot_stats([5.0, 1.0, 3.0, 2.0, 4.0])
+    assert stats.minimum <= stats.p5 <= stats.p25 <= stats.median
+    assert stats.median <= stats.p75 <= stats.p95 <= stats.maximum
+    assert stats.count == 5
+    assert stats.mean == pytest.approx(3.0)
+
+
+def test_boxplot_stats_as_dict_round_trip():
+    stats = boxplot_stats([1.0, 2.0, 3.0])
+    as_dict = stats.as_dict()
+    assert as_dict["median"] == stats.median
+    assert as_dict["count"] == 3
+
+
+def test_inverse_cdf_fractions_decrease_with_threshold():
+    samples = [1.0, 2.0, 5.0, 10.0, 100.0]
+    points = inverse_cdf(samples, [0.0, 2.0, 50.0, 1000.0])
+    fractions = [fraction for _, fraction in points]
+    assert fractions[0] == 1.0
+    assert fractions == sorted(fractions, reverse=True)
+    assert fractions[-1] == 0.0
+
+
+def test_fraction_exceeding_counts_strictly_greater():
+    assert fraction_exceeding([10.0, 50.0, 60.0, 70.0], 50.0) == pytest.approx(0.5)
+
+
+def test_histogram_records_and_summarises():
+    histogram = Histogram(name="tick")
+    histogram.extend([10.0, 20.0, 30.0])
+    histogram.record(40.0)
+    assert len(histogram) == 4
+    assert histogram.mean() == pytest.approx(25.0)
+    assert histogram.maximum() == 40.0
+    assert histogram.fraction_exceeding(25.0) == pytest.approx(0.5)
+
+
+def test_histogram_empty_raises_on_summary():
+    histogram = Histogram(name="empty")
+    with pytest.raises(ValueError):
+        histogram.mean()
+
+
+def test_time_series_window_and_rolling():
+    series = TimeSeries(name="tick")
+    for index in range(100):
+        series.record(time_ms=index * 50.0, value=float(index))
+    window = series.window(0.0, 500.0)
+    assert len(window) == 10
+    rolling = series.rolling(window_ms=2500.0)
+    assert rolling, "rolling summary should not be empty"
+    centre, mean, p5, p95 = rolling[0]
+    assert p5 <= mean <= p95
+
+
+def test_metric_registry_creates_and_reuses_metrics():
+    registry = MetricRegistry()
+    assert registry.histogram("a") is registry.histogram("a")
+    assert registry.series("b") is registry.series("b")
+    registry.increment("count", 2.0)
+    registry.increment("count")
+    assert registry.counter("count") == 3.0
+    assert registry.counter("missing") == 0.0
+    assert registry.histogram_names == ["a"]
+    assert registry.series_names == ["b"]
+    assert registry.counter_names == ["count"]
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+def test_boxplot_stats_bounds_hold_for_any_sample(samples):
+    stats = boxplot_stats(samples)
+    tolerance = 1e-9 * max(1.0, abs(stats.maximum))
+    assert stats.minimum <= stats.median <= stats.maximum
+    assert stats.minimum - tolerance <= stats.mean <= stats.maximum + tolerance
+    assert stats.count == len(samples)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=100),
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+)
+def test_fraction_exceeding_is_a_probability(samples, threshold):
+    fraction = fraction_exceeding(samples, threshold)
+    assert 0.0 <= fraction <= 1.0

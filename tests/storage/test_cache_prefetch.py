@@ -1,0 +1,121 @@
+"""Tests for the cache and the distance prefetch policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.blob import AZURE_BLOB_STANDARD, BlobStorage
+from repro.storage.cache import CachedStorage
+from repro.storage.prefetch import DistancePrefetchPolicy
+from repro.world.coords import BlockPos, ChunkPos, block_to_chunk
+
+
+@pytest.fixture
+def cache_and_blob(rng):
+    blob = BlobStorage(rng=np.random.default_rng(7), profile=AZURE_BLOB_STANDARD)
+    cache = CachedStorage(remote=blob, rng=rng, capacity_objects=16)
+    return cache, blob
+
+
+def test_cache_miss_then_hit(cache_and_blob):
+    cache, blob = cache_and_blob
+    blob.write("key", b"value")
+    first = cache.read("key")
+    second = cache.read("key")
+    assert first.hit is False
+    assert second.hit is True
+    assert second.latency_ms < first.latency_ms
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert 0.0 < cache.stats.hit_rate < 1.0
+
+
+def test_cache_prefetch_makes_reads_hits(cache_and_blob):
+    cache, blob = cache_and_blob
+    blob.write("key", b"value")
+    paid = cache.prefetch("key")
+    assert paid > 0.0
+    assert cache.is_cached("key")
+    assert cache.read("key").hit is True
+    # prefetching again is free
+    assert cache.prefetch("key") == 0.0
+    # prefetching a missing object is a no-op
+    assert cache.prefetch("nope") == 0.0
+
+
+def test_cache_write_behind_flush(cache_and_blob):
+    cache, blob = cache_and_blob
+    cache.write("new-key", b"data")
+    assert not blob.exists("new-key")
+    assert cache.dirty_keys == ["new-key"]
+    operations = cache.flush()
+    assert len(operations) == 1
+    assert blob.exists("new-key")
+    assert cache.dirty_keys == []
+
+
+def test_cache_eviction_respects_capacity_and_preserves_dirty_data(rng):
+    blob = BlobStorage(rng=np.random.default_rng(3), profile=AZURE_BLOB_STANDARD)
+    cache = CachedStorage(remote=blob, rng=rng, capacity_objects=4)
+    for index in range(8):
+        cache.write(f"key-{index}", b"x")
+    assert len(cache.cached_keys) <= 4
+    # Every written object survives somewhere (cache or remote).
+    for index in range(8):
+        assert cache.exists(f"key-{index}")
+    assert cache.stats.evictions > 0
+
+
+def test_cache_delete_removes_everywhere(cache_and_blob):
+    cache, blob = cache_and_blob
+    blob.write("key", b"v")
+    cache.read("key")
+    cache.delete("key")
+    assert not cache.exists("key")
+    assert not blob.exists("key")
+
+
+def test_cache_rejects_zero_capacity(rng):
+    blob = BlobStorage(rng=np.random.default_rng(3))
+    with pytest.raises(ValueError):
+        CachedStorage(remote=blob, rng=rng, capacity_objects=0)
+
+
+def test_cache_read_latency_much_lower_than_remote(cache_and_blob):
+    cache, blob = cache_and_blob
+    blob.write("key", b"x" * 100)
+    cache.prefetch("key")
+    hits = [cache.read("key").latency_ms for _ in range(300)]
+    assert max(hits) < 40.0
+
+
+def test_prefetch_policy_partitions_required_and_margin():
+    policy = DistancePrefetchPolicy(view_distance_blocks=64.0, prefetch_margin_blocks=32.0)
+    plan = policy.plan([BlockPos(0, 64, 0)])
+    assert plan.required
+    assert plan.prefetch
+    assert not (plan.required & plan.prefetch)
+    assert block_to_chunk(BlockPos(0, 64, 0)) in plan.required
+
+
+def test_prefetch_policy_eviction_candidates():
+    policy = DistancePrefetchPolicy(view_distance_blocks=32.0, prefetch_margin_blocks=16.0)
+    resident = [ChunkPos(0, 0), ChunkPos(50, 50)]
+    candidates = policy.eviction_candidates(resident, [BlockPos(0, 64, 0)])
+    assert ChunkPos(50, 50) in candidates
+    assert ChunkPos(0, 0) not in candidates
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=-500, max_value=500),
+    st.integers(min_value=-500, max_value=500),
+)
+def test_prefetch_plan_required_always_within_view(x, z):
+    policy = DistancePrefetchPolicy(view_distance_blocks=48.0, prefetch_margin_blocks=32.0)
+    position = BlockPos(x, 64, z)
+    plan = policy.plan([position])
+    # The player's own chunk is always required, and the prefetch ring is
+    # strictly outside the required set.
+    assert block_to_chunk(position) in plan.required
+    assert not (plan.required & plan.prefetch)

@@ -1,0 +1,54 @@
+"""Tests for the analysis helpers and report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    comparison_table,
+    icdf_points,
+    paper_vs_measured,
+    rolling_percentile,
+    summarize_distribution,
+)
+from repro.analysis.stats import crossing_time
+
+
+def test_rolling_percentile_tracks_a_step_change():
+    times = [float(t) for t in range(0, 10_000, 50)]
+    values = [10.0 if t < 5_000 else 100.0 for t in times]
+    series = rolling_percentile(times, values, q=95, window_ms=1_000.0)
+    assert series[0][1] == pytest.approx(10.0)
+    assert series[-1][1] == pytest.approx(100.0)
+
+
+def test_rolling_percentile_validates_input():
+    with pytest.raises(ValueError):
+        rolling_percentile([1.0], [1.0, 2.0], q=50)
+    assert rolling_percentile([], [], q=50) == []
+
+
+def test_crossing_time_requires_sustained_exceedance():
+    series = [(0.0, 10.0), (1.0, 60.0), (2.0, 10.0), (3.0, 60.0), (4.0, 70.0)]
+    assert crossing_time(series, threshold=50.0, sustained_points=2) == 4.0
+    assert crossing_time(series, threshold=100.0) is None
+    with pytest.raises(ValueError):
+        crossing_time(series, threshold=50.0, sustained_points=0)
+
+
+def test_icdf_and_summary_wrappers():
+    samples = [1.0, 2.0, 3.0, 4.0, 100.0]
+    points = icdf_points(samples, [0.0, 50.0])
+    assert points[0][1] == 1.0
+    assert points[1][1] == pytest.approx(0.2)
+    stats = summarize_distribution(samples)
+    assert stats.count == 5
+
+
+def test_comparison_table_renders_rows():
+    table = comparison_table(["a", "b"], [[1, "x"], [2, "y"]])
+    assert "a" in table and "x" in table and "2" in table
+
+
+def test_paper_vs_measured_includes_ratio():
+    table = paper_vs_measured("max players", {"servo": (150.0, 120.0)})
+    assert "servo" in table
+    assert "0.80" in table

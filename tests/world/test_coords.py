@@ -1,0 +1,77 @@
+"""Tests for block/chunk coordinates."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.world.coords import (
+    BlockPos,
+    ChunkPos,
+    block_to_chunk,
+    chunk_origin,
+    chunks_within_blocks,
+)
+
+
+def test_block_to_chunk_uses_floor_division():
+    assert block_to_chunk(BlockPos(0, 0, 0)) == ChunkPos(0, 0)
+    assert block_to_chunk(BlockPos(15, 70, 15)) == ChunkPos(0, 0)
+    assert block_to_chunk(BlockPos(16, 70, 0)) == ChunkPos(1, 0)
+    assert block_to_chunk(BlockPos(-1, 70, -1)) == ChunkPos(-1, -1)
+
+
+def test_chunk_origin_is_minimum_corner():
+    assert chunk_origin(ChunkPos(0, 0)) == BlockPos(0, 0, 0)
+    assert chunk_origin(ChunkPos(2, -1)) == BlockPos(32, 0, -16)
+
+
+def test_block_neighbours_are_six_axis_aligned():
+    neighbours = BlockPos(1, 2, 3).neighbours()
+    assert len(neighbours) == 6
+    assert BlockPos(2, 2, 3) in neighbours
+    assert BlockPos(1, 1, 3) in neighbours
+
+
+def test_horizontal_distance_ignores_height():
+    a = BlockPos(0, 0, 0)
+    b = BlockPos(3, 200, 4)
+    assert a.horizontal_distance_to(b) == pytest.approx(5.0)
+
+
+def test_manhattan_distance():
+    assert BlockPos(0, 0, 0).manhattan_distance_to(BlockPos(1, 2, 3)) == 6
+
+
+def test_chunk_neighbours_excludes_self():
+    centre = ChunkPos(0, 0)
+    ring = centre.neighbours(radius=1)
+    assert len(ring) == 8
+    assert centre not in ring
+
+
+def test_chunk_key_is_stable():
+    assert ChunkPos(3, -4).key() == "chunk_3_-4"
+
+
+def test_chunks_within_blocks_contains_center_chunk():
+    positions = chunks_within_blocks(BlockPos(8, 64, 8), 1.0)
+    assert ChunkPos(0, 0) in positions
+
+
+def test_chunks_within_blocks_radius_grows_set():
+    small = set(chunks_within_blocks(BlockPos(0, 64, 0), 16.0))
+    large = set(chunks_within_blocks(BlockPos(0, 64, 0), 128.0))
+    assert small < large
+
+
+def test_chunks_within_blocks_rejects_negative_radius():
+    with pytest.raises(ValueError):
+        chunks_within_blocks(BlockPos(0, 0, 0), -1.0)
+
+
+@given(st.integers(-10 ** 6, 10 ** 6), st.integers(0, 255), st.integers(-10 ** 6, 10 ** 6))
+def test_block_always_inside_its_chunk(x, y, z):
+    pos = BlockPos(x, y, z)
+    chunk = block_to_chunk(pos)
+    origin = chunk_origin(chunk)
+    assert origin.x <= pos.x < origin.x + 16
+    assert origin.z <= pos.z < origin.z + 16
