@@ -1,0 +1,42 @@
+"""Zone-partitioned multi-server clusters.
+
+The paper raises the ceiling of *one* MVE server by offloading constructs,
+terrain and storage to serverless services; this layer raises the ceiling of
+the *world* by partitioning it into zones served by cooperating game servers
+that share one simulation engine and (for Servo) one FaaS platform and blob
+store:
+
+* :mod:`repro.cluster.partition` — grid zones over chunk coordinates and the
+  per-shard ownership regions derived from them.
+* :mod:`repro.cluster.coordinator` — virtual-time lockstep ticking of all
+  shards and the player-migration protocol (session state serialized through
+  the shared storage service when an avatar crosses a zone boundary).
+* :mod:`repro.cluster.assembly` — cluster construction for the Servo and
+  Opencraft variants, built from the same :class:`~repro.server.ServerBuilder`
+  parts as the single-server stack.
+"""
+
+from repro.cluster.assembly import (
+    DEFAULT_ZONE_WIDTH_CHUNKS,
+    build_opencraft_cluster,
+    build_servo_cluster,
+)
+from repro.cluster.coordinator import (
+    ClusterChunks,
+    ClusterCoordinator,
+    ClusterSession,
+    MigrationRecord,
+)
+from repro.cluster.partition import WorldPartitioner, ZoneRegion
+
+__all__ = [
+    "WorldPartitioner",
+    "ZoneRegion",
+    "ClusterChunks",
+    "ClusterCoordinator",
+    "ClusterSession",
+    "MigrationRecord",
+    "build_servo_cluster",
+    "build_opencraft_cluster",
+    "DEFAULT_ZONE_WIDTH_CHUNKS",
+]

@@ -1,0 +1,325 @@
+"""Cluster coordination: lockstep shard ticking and player migration.
+
+A :class:`ClusterCoordinator` owns N :class:`~repro.server.GameServer` shards
+that share one :class:`~repro.sim.SimulationEngine` (and, for Servo, one FaaS
+platform and blob store).  It presents the same driving surface as a single
+server — ``connect_player``, ``place_construct``, ``run_for_seconds``,
+``tick_records`` — so workloads and scenarios address the cluster exactly as
+they address one server; which shard serves a player is an implementation
+detail hidden behind :class:`ClusterSession`.
+
+Each cluster *round* ticks every shard at the same virtual start time and
+then advances the shared clock once by the slowest shard's duration: the
+cluster runs in lockstep and the round duration is the cluster's effective
+tick time.  After the shards tick, avatars that crossed a zone boundary are
+handed off to the owning shard: the session state is serialized through the
+shared session store (write on the source, read on the target), the measured
+storage latencies are recorded in the ``migration_ms`` histogram, and the
+player keeps its id, avatar state and pending messages across the handoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.partition import WorldPartitioner
+from repro.constructs.circuit import SimulatedConstruct
+from repro.net.message import Message
+from repro.server.config import GameConfig
+from repro.server.gameloop import GameServer, TickLoop, TickRecord
+from repro.server.session import PlayerSession, restore_avatar_state, snapshot_session
+from repro.sim.engine import SimulationEngine
+from repro.storage.base import StorageBackend
+from repro.world.coords import BlockPos
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One completed player handoff between shards."""
+
+    round_index: int
+    time_ms: float
+    player_id: int
+    player_name: str
+    from_shard: int
+    to_shard: int
+    latency_ms: float
+
+
+class ClusterSession:
+    """A stable client-facing session handle that survives shard handoffs.
+
+    Bots (and real clients) hold one of these; the coordinator rebinds it to
+    a new shard-local :class:`PlayerSession` whenever the player migrates, so
+    the client never observes the handoff beyond the recorded latency.
+    """
+
+    def __init__(self, session: PlayerSession, shard_index: int) -> None:
+        self.player_id = session.player_id
+        self.name = session.name
+        self.shard_index = shard_index
+        self.migrations = 0
+        self._session = session
+        self._disconnected = False
+        #: updates sent through sessions retired by earlier migrations
+        self._updates_sent_before = 0
+
+    @property
+    def avatar(self):
+        return self._session.avatar
+
+    @property
+    def disconnected(self) -> bool:
+        return self._disconnected
+
+    @property
+    def updates_sent(self) -> int:
+        return self._updates_sent_before + self._session.updates_sent
+
+    def enqueue(self, message: Message) -> None:
+        self._session.enqueue(message)
+
+    def move(self, x: int, y: int, z: int) -> None:
+        self._session.move(x, y, z)
+
+    def chat(self, text: str) -> None:
+        self._session.chat(text)
+
+    def _rebind(self, session: PlayerSession, shard_index: int) -> None:
+        self._updates_sent_before += self._session.updates_sent
+        self._session = session
+        self.shard_index = shard_index
+        self.migrations += 1
+
+
+class ClusterChunks:
+    """Chunk-management facade so scenarios can preload a cluster's world."""
+
+    def __init__(self, coordinator: "ClusterCoordinator") -> None:
+        self._coordinator = coordinator
+
+    def preload_area(self, center: BlockPos, radius_blocks: float) -> int:
+        """Preload ``radius_blocks`` around every spawn point, per owning shard.
+
+        Each shard's chunk manager filters the area through its ownership
+        region, so a chunk is generated exactly once, by its owner.
+        """
+        loaded = 0
+        points = [center] + self._coordinator.spawn_points()
+        for shard in self._coordinator.shards:
+            for point in points:
+                loaded += shard.chunks.preload_area(point, radius_blocks)
+        return loaded
+
+    @property
+    def pending_chunks(self) -> int:
+        return sum(shard.chunks.pending_chunks for shard in self._coordinator.shards)
+
+
+class ClusterCoordinator(TickLoop):
+    """Drives a zone-partitioned multi-server world in virtual-time lockstep."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        shards: list[GameServer],
+        partitioner: WorldPartitioner,
+        config: GameConfig,
+        session_store: Optional[StorageBackend] = None,
+        name: str = "cluster",
+        boundary_spawn_every: int = 4,
+    ) -> None:
+        if len(shards) != partitioner.shard_count:
+            raise ValueError(
+                f"partitioner defines {partitioner.shard_count} zones "
+                f"but {len(shards)} shards were provided"
+            )
+        self.engine = engine
+        self.shards = shards
+        self.partitioner = partitioner
+        self.config = config
+        self.session_store = session_store
+        self.name = name
+        #: every Nth player spawns near a zone boundary (0 disables); the
+        #: bounded-area workloads then wander across it, exercising migration
+        self.boundary_spawn_every = int(boundary_spawn_every)
+        self.sessions: dict[int, ClusterSession] = {}
+        self.tick_records: list[TickRecord] = []
+        self.migration_records: list[MigrationRecord] = []
+        self.chunks = ClusterChunks(self)
+        self.round_index = 0
+        self._players_connected = 0
+        self._round_robin = 0
+        self._construct_homes: dict[int, int] = {}
+
+    # -- cluster shape ---------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def player_count(self) -> int:
+        return sum(shard.player_count for shard in self.shards)
+
+    @property
+    def construct_count(self) -> int:
+        return sum(shard.construct_count for shard in self.shards)
+
+    def spawn_points(self) -> list[BlockPos]:
+        """Every spawn position the coordinator hands out (for preloading)."""
+        base = self.config.spawn_position
+        points = [
+            self.partitioner.zone_spawn(zone, base) for zone in range(self.shard_count)
+        ]
+        points.extend(
+            self.partitioner.boundary_spawn(index, base)
+            for index in range(self.partitioner.boundary_count())
+        )
+        return points
+
+    # -- player lifecycle ------------------------------------------------------------
+
+    def _next_spawn(self) -> tuple[int, Optional[BlockPos]]:
+        index = self._players_connected
+        base = self.config.spawn_position
+        if self.shard_count == 1:
+            return 0, None
+        if self.boundary_spawn_every and (index + 1) % self.boundary_spawn_every == 0:
+            boundary = (index // self.boundary_spawn_every) % self.partitioner.boundary_count()
+            position = self.partitioner.boundary_spawn(boundary, base)
+            return self.partitioner.zone_of_block(position), position
+        zone = self._round_robin % self.shard_count
+        self._round_robin += 1
+        return zone, self.partitioner.zone_spawn(zone, base)
+
+    def connect_player(self, name: str | None = None) -> ClusterSession:
+        """Connect a player to the shard owning its (spread) spawn position."""
+        zone, position = self._next_spawn()
+        self._players_connected += 1
+        session = self.shards[zone].connect_player(name, position=position)
+        proxy = ClusterSession(session, shard_index=zone)
+        self.sessions[proxy.player_id] = proxy
+        return proxy
+
+    def disconnect_player(self, player_id: int) -> None:
+        proxy = self.sessions.get(player_id)
+        if proxy is None or proxy.disconnected:
+            raise KeyError(f"no connected player with id {player_id}")
+        self.shards[proxy.shard_index].disconnect_player(player_id)
+        proxy._disconnected = True
+
+    # -- constructs ------------------------------------------------------------------
+
+    def shard_for_block(self, position: BlockPos) -> GameServer:
+        """The shard owning a block position."""
+        return self.shards[self.partitioner.zone_of_block(position)]
+
+    def place_construct(self, construct: SimulatedConstruct) -> None:
+        """Route a construct to the shard owning its anchor (minimum) cell."""
+        zone = self.partitioner.zone_of_block(construct.positions[0])
+        self._construct_homes[construct.construct_id] = zone
+        self.shards[zone].place_construct(construct)
+
+    def remove_construct(self, construct_id: int) -> None:
+        zone = self._construct_homes.pop(construct_id, None)
+        if zone is None:
+            raise KeyError(f"no construct with id {construct_id} in the cluster")
+        self.shards[zone].remove_construct(construct_id)
+
+    # -- migration -------------------------------------------------------------------
+
+    def _migrate(self, proxy: ClusterSession, target_zone: int) -> None:
+        source = self.shards[proxy.shard_index]
+        target = self.shards[target_zone]
+        old_session = proxy._session
+        position = old_session.avatar.position
+        pending = old_session.drain()
+        state = snapshot_session(old_session)
+        key = f"session_{proxy.name}"
+
+        # Handoff: serialize through the shared session store; the write on
+        # the source and the read on the target are the migration's latency.
+        latency_ms = 0.0
+        if self.session_store is not None:
+            write_op = self.session_store.write(key, state)
+            read_op = self.session_store.read(key)
+            state = read_op.data or state
+            latency_ms = write_op.latency_ms + read_op.latency_ms
+        source.disconnect_player(proxy.player_id, persist=False)
+        session = target.connect_player(
+            proxy.name, position=position, player_id=proxy.player_id, restore=False
+        )
+        restore_avatar_state(session.avatar, state, restore_position=False)
+        for message in pending:
+            session.enqueue(message)
+
+        record = MigrationRecord(
+            round_index=self.round_index,
+            time_ms=self.engine.now_ms,
+            player_id=proxy.player_id,
+            player_name=proxy.name,
+            from_shard=proxy.shard_index,
+            to_shard=target_zone,
+            latency_ms=latency_ms,
+        )
+        self.migration_records.append(record)
+        proxy._rebind(session, target_zone)
+        metrics = self.engine.metrics
+        metrics.histogram("migration_ms").record(latency_ms)
+        metrics.increment("migrations")
+
+    def _migrate_crossed_players(self) -> int:
+        migrated = 0
+        for proxy in list(self.sessions.values()):
+            if proxy.disconnected:
+                continue
+            target_zone = self.partitioner.zone_of_block(proxy.avatar.position)
+            if target_zone != proxy.shard_index:
+                self._migrate(proxy, target_zone)
+                migrated += 1
+        return migrated
+
+    @property
+    def migration_count(self) -> int:
+        return len(self.migration_records)
+
+    # -- the lockstep round ----------------------------------------------------------
+
+    def tick(self) -> TickRecord:
+        """Execute one cluster round: tick every shard, migrate, advance once."""
+        start_ms = self.engine.now_ms
+        shard_records = [shard.tick(advance_clock=False) for shard in self.shards]
+        self._migrate_crossed_players()
+
+        duration_ms = max(record.duration_ms for record in shard_records)
+        record = TickRecord(
+            index=self.round_index,
+            start_ms=start_ms,
+            duration_ms=duration_ms,
+            players=sum(r.players for r in shard_records),
+            constructs=sum(r.constructs for r in shard_records),
+            chunks_integrated=sum(r.chunks_integrated for r in shard_records),
+            view_range_blocks=min(r.view_range_blocks for r in shard_records),
+        )
+        self.tick_records.append(record)
+        self.engine.metrics.histogram("cluster_round_ms").record(duration_ms)
+        self.round_index += 1
+
+        # Lockstep: the cluster's next round starts when the slowest shard is
+        # done (or after the tick budget, whichever is later).
+        self.engine.advance_to(start_ms + max(self.config.tick_interval_ms, duration_ms))
+        return record
+
+    # -- reporting -------------------------------------------------------------------
+
+    def tick_durations_ms(self) -> list[float]:
+        return [record.duration_ms for record in self.tick_records]
+
+    def shard_tick_durations_ms(self, since_index: int = 0) -> dict[str, list[float]]:
+        """Per-shard tick durations from round ``since_index`` onwards."""
+        return {
+            shard.name: [r.duration_ms for r in shard.tick_records[since_index:]]
+            for shard in self.shards
+        }

@@ -1,0 +1,135 @@
+"""World partitioning: grid zones over chunk coordinates.
+
+A cluster splits the (horizontally unbounded) voxel world into vertical
+strips of chunks along the ``cx`` axis.  Each strip is one *zone*, owned by
+exactly one shard.  The two outermost zones extend to infinity so every chunk
+in the world has exactly one owner.
+
+Zone-edge determinism: a chunk whose ``cx`` lies exactly on a zone boundary
+belongs to the zone on the *right* (floor division), so an avatar landing
+exactly on a zone edge always has a well-defined owner and two runs with the
+same seed produce the same migration schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.server.chunkmanager import OwnershipRegion
+from repro.world.coords import CHUNK_SIZE, BlockPos, ChunkPos, block_to_chunk
+
+
+@dataclass(frozen=True)
+class ZoneRegion(OwnershipRegion):
+    """One shard's ownership zone: a strip of chunks along the x axis.
+
+    ``min_cx`` is inclusive, ``max_cx`` exclusive; ``None`` means unbounded
+    (the outermost zones own everything beyond the last boundary).
+    """
+
+    zone_id: int
+    min_cx: Optional[int]
+    max_cx: Optional[int]
+
+    def contains(self, position: ChunkPos) -> bool:
+        if self.min_cx is not None and position.cx < self.min_cx:
+            return False
+        if self.max_cx is not None and position.cx >= self.max_cx:
+            return False
+        return True
+
+    def contains_block(self, position: BlockPos) -> bool:
+        return self.contains(block_to_chunk(position))
+
+
+class WorldPartitioner:
+    """Partitions the world into ``shard_count`` contiguous chunk strips.
+
+    Interior boundaries sit at ``origin_cx + i * zone_width_chunks`` for
+    ``i in 1..shard_count-1``; zone 0 extends to ``-inf`` and the last zone to
+    ``+inf``.  With one shard there is a single unbounded zone (the cluster
+    degenerates to the paper's single-server deployment).
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        zone_width_chunks: int = 16,
+        origin_cx: int = 0,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("a cluster needs at least one shard")
+        if zone_width_chunks < 1:
+            raise ValueError("zone_width_chunks must be at least one chunk")
+        self.shard_count = int(shard_count)
+        self.zone_width_chunks = int(zone_width_chunks)
+        self.origin_cx = int(origin_cx)
+
+    # -- ownership -------------------------------------------------------------------
+
+    def zone_of(self, position: ChunkPos) -> int:
+        """The zone owning a chunk (clamped: outer zones are unbounded)."""
+        if self.shard_count == 1:
+            return 0
+        index = (position.cx - self.origin_cx) // self.zone_width_chunks
+        return max(0, min(self.shard_count - 1, index))
+
+    def zone_of_block(self, position: BlockPos) -> int:
+        """The zone owning a block position."""
+        return self.zone_of(block_to_chunk(position))
+
+    def region(self, zone_id: int) -> ZoneRegion:
+        """The ownership region of one zone."""
+        if not 0 <= zone_id < self.shard_count:
+            raise ValueError(
+                f"zone_id must be in [0, {self.shard_count}), got {zone_id}"
+            )
+        if self.shard_count == 1:
+            return ZoneRegion(zone_id=0, min_cx=None, max_cx=None)
+        min_cx = None if zone_id == 0 else self.origin_cx + zone_id * self.zone_width_chunks
+        max_cx = (
+            None
+            if zone_id == self.shard_count - 1
+            else self.origin_cx + (zone_id + 1) * self.zone_width_chunks
+        )
+        return ZoneRegion(zone_id=zone_id, min_cx=min_cx, max_cx=max_cx)
+
+    def regions(self) -> list[ZoneRegion]:
+        return [self.region(zone_id) for zone_id in range(self.shard_count)]
+
+    # -- spawn placement -------------------------------------------------------------
+
+    def zone_spawn(self, zone_id: int, base: BlockPos) -> BlockPos:
+        """A spawn position near the interior center of a zone.
+
+        Unbounded outer zones use the same width-``W`` cell adjacent to their
+        inner boundary, so spawns stay near the populated middle of the world.
+        """
+        if not 0 <= zone_id < self.shard_count:
+            raise ValueError(
+                f"zone_id must be in [0, {self.shard_count}), got {zone_id}"
+            )
+        if self.shard_count == 1:
+            return base
+        center_cx = self.origin_cx + zone_id * self.zone_width_chunks + self.zone_width_chunks // 2
+        return BlockPos(center_cx * CHUNK_SIZE + CHUNK_SIZE // 2, base.y, base.z)
+
+    def boundary_spawn(self, boundary_index: int, base: BlockPos) -> BlockPos:
+        """A spawn position just left of an interior zone boundary.
+
+        Bots spawned here wander across the boundary under the paper's
+        bounded-area behaviour, exercising the player-migration protocol.
+        There are ``shard_count - 1`` interior boundaries.
+        """
+        if self.shard_count < 2:
+            raise ValueError("a single-shard world has no interior boundaries")
+        if not 0 <= boundary_index < self.shard_count - 1:
+            raise ValueError(
+                f"boundary_index must be in [0, {self.shard_count - 1}), got {boundary_index}"
+            )
+        boundary_cx = self.origin_cx + (boundary_index + 1) * self.zone_width_chunks
+        return BlockPos(boundary_cx * CHUNK_SIZE - 2, base.y, base.z)
+
+    def boundary_count(self) -> int:
+        return self.shard_count - 1

@@ -4,14 +4,20 @@
 server: the speculative construct backend, the serverless terrain provider and
 the cached remote storage service, all running against one simulated FaaS
 platform and blob store of the chosen provider.  The returned server exposes
-the attached services through its ``servo`` attribute (a
+the attached services through its typed ``runtime`` handle (a
 :class:`ServoRuntime`) so experiments can inspect invocations, billing, cache
 statistics and speculation records.
+
+The assembly is split into reusable pieces (platform, blob store, per-server
+services) so a zone-partitioned cluster can build several Servo shards that
+share one FaaS platform and one blob store while keeping per-shard caches and
+speculation state (see :mod:`repro.cluster`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from repro.core.config import ServoConfig
 from repro.core.offload import SC_SIMULATION_FUNCTION, make_simulation_handler
@@ -25,18 +31,17 @@ from repro.core.terrain_service import (
 from repro.faas.function import FunctionDefinition
 from repro.faas.platform import FaasPlatform
 from repro.faas.providers import provider_by_name
-from repro.server.chunkmanager import ChunkManager
+from repro.server.builder import ServerBuilder
+from repro.server.chunkmanager import OwnershipRegion
 from repro.server.config import GameConfig
 from repro.server.costmodel import SERVO_COST_MODEL
-from repro.server.gameloop import GameServer
+from repro.server.gameloop import GameServer, ServerRuntime
 from repro.sim.engine import SimulationEngine
 from repro.storage.blob import AWS_S3_STANDARD, AZURE_BLOB_STANDARD, BlobStorage
-from repro.world.terrain import make_terrain_generator
-from repro.world.world import VoxelWorld
 
 
 @dataclass
-class ServoRuntime:
+class ServoRuntime(ServerRuntime):
     """Handles to the serverless services attached to a Servo server."""
 
     config: ServoConfig
@@ -54,43 +59,70 @@ class ServoRuntime:
         return self.platform.billing.cost_per_hour_usd(window_ms)
 
 
+def make_servo_platform(engine: SimulationEngine, servo_config: ServoConfig) -> FaasPlatform:
+    """Create a FaaS platform with the two Servo functions deployed."""
+    platform = FaasPlatform(engine, provider=provider_by_name(servo_config.provider))
+    deploy_servo_functions(platform, servo_config)
+    return platform
+
+
+def deploy_servo_functions(platform: FaasPlatform, servo_config: ServoConfig) -> None:
+    """Deploy the Servo functions onto ``platform`` (idempotent)."""
+    if not platform.is_registered(SC_SIMULATION_FUNCTION):
+        platform.register(
+            FunctionDefinition(
+                name=SC_SIMULATION_FUNCTION,
+                handler=make_simulation_handler(),
+                memory_mb=servo_config.simulation_function_memory_mb,
+                description="speculative simulation of one simulated construct",
+            )
+        )
+    if not platform.is_registered(TERRAIN_GENERATION_FUNCTION):
+        platform.register(
+            FunctionDefinition(
+                name=TERRAIN_GENERATION_FUNCTION,
+                handler=make_terrain_handler(),
+                memory_mb=servo_config.terrain_function_memory_mb,
+                description="procedural generation of one terrain chunk",
+            )
+        )
+
+
+def make_servo_blob(engine: SimulationEngine, servo_config: ServoConfig) -> BlobStorage:
+    """Create the provider-matched blob store Servo persists state into."""
+    blob_profile = AWS_S3_STANDARD if servo_config.provider == "aws" else AZURE_BLOB_STANDARD
+    return BlobStorage(rng=engine.rng("servo-blob"), profile=blob_profile)
+
+
 def build_servo_server(
     engine: SimulationEngine,
     game_config: GameConfig | None = None,
     servo_config: ServoConfig | None = None,
+    *,
+    platform: FaasPlatform | None = None,
+    blob: BlobStorage | None = None,
+    name: str = "servo",
+    region: Optional[OwnershipRegion] = None,
+    player_ids: Optional[Iterator[int]] = None,
 ) -> GameServer:
     """Build a game server running the Servo serverless backend.
 
     The server keeps the 20 Hz loop and client protocol of the baselines
-    (Requirement R4); only the backend services change.
+    (Requirement R4); only the backend services change.  ``platform`` and
+    ``blob`` default to fresh instances; a cluster passes shared ones so all
+    shards bill against one provider account and persist into one store.
     """
     game_config = game_config or GameConfig()
     servo_config = servo_config or ServoConfig()
 
-    provider = provider_by_name(servo_config.provider)
-    platform = FaasPlatform(engine, provider=provider)
-
-    # Deploy the two Servo functions.
-    platform.register(
-        FunctionDefinition(
-            name=SC_SIMULATION_FUNCTION,
-            handler=make_simulation_handler(),
-            memory_mb=servo_config.simulation_function_memory_mb,
-            description="speculative simulation of one simulated construct",
-        )
-    )
-    platform.register(
-        FunctionDefinition(
-            name=TERRAIN_GENERATION_FUNCTION,
-            handler=make_terrain_handler(),
-            memory_mb=servo_config.terrain_function_memory_mb,
-            description="procedural generation of one terrain chunk",
-        )
-    )
+    if platform is None:
+        platform = make_servo_platform(engine, servo_config)
+    else:
+        deploy_servo_functions(platform, servo_config)
+    if blob is None:
+        blob = make_servo_blob(engine, servo_config)
 
     # Remote state storage with the Servo cache and prefetcher in front.
-    blob_profile = AWS_S3_STANDARD if servo_config.provider == "aws" else AZURE_BLOB_STANDARD
-    blob = BlobStorage(rng=engine.rng("servo-blob"), profile=blob_profile)
     storage = ServoStorageService(
         engine=engine,
         remote=blob,
@@ -99,44 +131,33 @@ def build_servo_server(
         cache_capacity_objects=servo_config.cache_capacity_objects,
         enable_cache=servo_config.enable_cache,
     )
-
-    generator = make_terrain_generator(game_config.world_type, seed=game_config.world_seed)
-    world = VoxelWorld()
     terrain_provider = ServerlessTerrainProvider(
         engine=engine,
         platform=platform,
         world_type=game_config.world_type,
         seed=game_config.world_seed,
     )
-    chunk_manager = ChunkManager(
-        engine=engine,
-        world=world,
-        generator=generator,
-        provider=terrain_provider,
-        storage=storage,
-        view_distance_blocks=game_config.view_distance_blocks,
-        max_integrations_per_tick=game_config.max_chunk_integrations_per_tick,
-    )
     construct_backend = SpeculativeConstructBackend(
         engine=engine, platform=platform, config=servo_config
     )
-
-    server = GameServer(
-        engine=engine,
-        config=game_config,
-        world=world,
-        chunk_manager=chunk_manager,
-        construct_backend=construct_backend,
-        cost_model=SERVO_COST_MODEL,
-        storage=storage,
-        name="servo",
-    )
-    server.servo = ServoRuntime(  # type: ignore[attr-defined]
+    runtime = ServoRuntime(
         config=servo_config,
         platform=platform,
         storage=storage,
         construct_backend=construct_backend,
         terrain_provider=terrain_provider,
+    )
+
+    server = (
+        ServerBuilder(engine, game_config, name=name)
+        .with_cost_model(SERVO_COST_MODEL)
+        .with_storage(storage)
+        .with_terrain_provider(terrain_provider)
+        .with_construct_backend(construct_backend)
+        .with_runtime(runtime)
+        .with_region(region)
+        .with_player_ids(player_ids)
+        .build()
     )
 
     # The prefetcher runs periodically, off the latency-critical path.

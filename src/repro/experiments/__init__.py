@@ -8,7 +8,12 @@ series the paper reports.  The registry maps experiment ids (``fig07a``,
 ``fig13``, ...) to their runners.
 """
 
+from repro.experiments.cluster_scalability import (
+    ClusterScalabilityResult,
+    run_cluster_scalability,
+)
 from repro.experiments.harness import (
+    CLUSTER_GAMES,
     ExperimentSettings,
     GAME_FACTORIES,
     build_game_server,
@@ -19,9 +24,12 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 __all__ = [
     "ExperimentSettings",
     "GAME_FACTORIES",
+    "CLUSTER_GAMES",
     "build_game_server",
     "find_max_players",
     "MaxPlayersResult",
+    "ClusterScalabilityResult",
+    "run_cluster_scalability",
     "EXPERIMENTS",
     "run_experiment",
 ]

@@ -1,0 +1,212 @@
+"""Cluster scalability: aggregate capacity vs shard count.
+
+The paper's evaluation stops at one server (~200 players).  This experiment
+partitions the world into zones served by cooperating shards and measures the
+largest aggregate player count a 1-, 2- and 4-shard cluster sustains while
+*every* shard's P99 tick duration stays within the 50 ms budget — the
+cluster analogue of the paper's max-supported-players search (Section IV-B).
+It also reports the player migrations the workload triggered (every fourth
+player spawns next to a zone boundary and wanders across it) and their
+handoff latencies through the shared session store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import ServoConfig
+from repro.experiments.harness import ExperimentSettings, build_game_server, format_table
+from repro.experiments.max_players import search_last_supported
+from repro.server import GameConfig
+from repro.sim import SimulationEngine
+from repro.sim.metrics import percentile
+from repro.workload import Scenario
+from repro.workload.scenarios import TICK_BUDGET_MS
+
+
+@dataclass(frozen=True)
+class ClusterMeasurement:
+    """One measured cluster run at a fixed shard and player count."""
+
+    shard_count: int
+    players: int
+    #: P99 tick duration per shard over the measurement window
+    per_shard_p99_ms: dict[str, float]
+    #: P99 of the lockstep round durations (the slowest shard each round)
+    round_p99_ms: float
+    #: completed player migrations over the whole run
+    migrations: int
+    #: median migration handoff latency (0.0 when no migrations occurred)
+    migration_latency_p50_ms: float
+
+    @property
+    def worst_shard_p99_ms(self) -> float:
+        return max(self.per_shard_p99_ms.values())
+
+    def within_budget(self, budget_ms: float = TICK_BUDGET_MS) -> bool:
+        return self.worst_shard_p99_ms <= budget_ms
+
+
+@dataclass
+class ClusterScalabilityRow:
+    """Search outcome for one shard count."""
+
+    shard_count: int
+    max_players: int
+    at_max: Optional[ClusterMeasurement]
+    #: players evaluated -> worst shard P99 at that count
+    evaluated: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class ClusterScalabilityResult:
+    """Aggregate capacity as a function of shard count."""
+
+    game: str
+    constructs: int
+    budget_ms: float
+    rows: list[ClusterScalabilityRow] = field(default_factory=list)
+
+    def row(self, shard_count: int) -> ClusterScalabilityRow:
+        for row in self.rows:
+            if row.shard_count == shard_count:
+                return row
+        raise KeyError(f"no row for shard_count={shard_count}")
+
+    def baseline_row(self) -> ClusterScalabilityRow:
+        """The row with the fewest shards (the comparison baseline)."""
+        if not self.rows:
+            raise ValueError("the sweep produced no rows")
+        return min(self.rows, key=lambda row: row.shard_count)
+
+    def speedup(self, shard_count: int) -> float:
+        """Aggregate capacity relative to the smallest cluster measured."""
+        base = self.baseline_row().max_players
+        if base == 0:
+            raise ValueError("the baseline cluster supported no players")
+        return self.row(shard_count).max_players / base
+
+
+def measure_cluster(
+    game: str,
+    shards: int,
+    players: int,
+    settings: ExperimentSettings,
+    constructs: int = 0,
+    servo_config: ServoConfig | None = None,
+) -> ClusterMeasurement:
+    """Run one cluster scenario and collect per-shard and migration statistics."""
+    engine = SimulationEngine(seed=settings.seed)
+    cluster = build_game_server(
+        game, engine, GameConfig(world_type="flat"), servo_config=servo_config, shards=shards
+    )
+    scenario = Scenario.behaviour_a(
+        players=players, constructs=constructs, duration_s=settings.duration_s
+    )
+    scenario.warmup_s = settings.warmup_s
+    result = scenario.run(cluster)
+
+    # The scenario measured the last len(result.tick_durations_ms) rounds;
+    # shard tick records are index-aligned with cluster rounds (lockstep).
+    measured_from = len(cluster.tick_records) - len(result.tick_durations_ms)
+    per_shard_p99 = {
+        name: percentile(durations, 99)
+        for name, durations in cluster.shard_tick_durations_ms(measured_from).items()
+    }
+    migration_samples = [record.latency_ms for record in cluster.migration_records]
+    return ClusterMeasurement(
+        shard_count=shards,
+        players=players,
+        per_shard_p99_ms=per_shard_p99,
+        round_p99_ms=percentile(result.tick_durations_ms, 99),
+        migrations=len(migration_samples),
+        migration_latency_p50_ms=(
+            percentile(migration_samples, 50) if migration_samples else 0.0
+        ),
+    )
+
+
+def find_cluster_max_players(
+    game: str,
+    shards: int,
+    settings: ExperimentSettings,
+    constructs: int = 0,
+    servo_config: ServoConfig | None = None,
+    budget_ms: float = TICK_BUDGET_MS,
+) -> ClusterScalabilityRow:
+    """Binary-search the largest player count every shard serves within budget.
+
+    Candidate counts scale with the shard count (an N-shard cluster is probed
+    up to N times the single-server search ceiling).
+    """
+    candidates = list(
+        range(settings.player_step, settings.max_players * shards + 1, settings.player_step)
+    )
+    row = ClusterScalabilityRow(shard_count=shards, max_players=0, at_max=None)
+    measurements: dict[int, ClusterMeasurement] = {}
+
+    def supports(players: int) -> bool:
+        measurement = measure_cluster(
+            game, shards, players, settings, constructs=constructs, servo_config=servo_config
+        )
+        measurements[players] = measurement
+        row.evaluated[players] = measurement.worst_shard_p99_ms
+        return measurement.within_budget(budget_ms)
+
+    row.max_players = search_last_supported(candidates, supports)
+    row.at_max = measurements.get(row.max_players)
+    return row
+
+
+def run_cluster_scalability(
+    settings: ExperimentSettings | None = None,
+    game: str = "servo-cluster",
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    constructs: int = 0,
+    servo_config: ServoConfig | None = None,
+) -> ClusterScalabilityResult:
+    """Measure aggregate max players for each shard count."""
+    settings = settings or ExperimentSettings()
+    result = ClusterScalabilityResult(
+        game=game, constructs=constructs, budget_ms=TICK_BUDGET_MS
+    )
+    for shards in shard_counts:
+        result.rows.append(
+            find_cluster_max_players(
+                game, shards, settings, constructs=constructs, servo_config=servo_config
+            )
+        )
+    return result
+
+
+def format_cluster_scalability(result: ClusterScalabilityResult) -> str:
+    """Render the shard-count sweep as a table."""
+    baseline = result.baseline_row() if result.rows else None
+    headers = [
+        "shards",
+        "max players",
+        f"vs {baseline.shard_count} shard" if baseline else "vs baseline",
+        "worst shard P99 (ms)",
+        "migrations",
+        "migration P50 (ms)",
+    ]
+    base = baseline.max_players if baseline else 0
+    rows = []
+    for row in result.rows:
+        at_max = row.at_max
+        rows.append(
+            [
+                str(row.shard_count),
+                str(row.max_players),
+                f"{row.max_players / base:.2f}x" if base else "n/a",
+                f"{at_max.worst_shard_p99_ms:.1f}" if at_max else "n/a",
+                str(at_max.migrations) if at_max else "0",
+                f"{at_max.migration_latency_p50_ms:.1f}" if at_max else "n/a",
+            ]
+        )
+    title = (
+        f"Aggregate supported players, {result.game} "
+        f"({result.constructs} constructs, budget {result.budget_ms:.0f} ms per shard)"
+    )
+    return f"{title}\n{format_table(headers, rows)}"

@@ -93,7 +93,8 @@ def run_offload_configuration(
     scenario.run(server)
     window_ms = engine.now_ms - start_ms
 
-    runtime = server.servo  # type: ignore[attr-defined]
+    runtime = server.runtime
+    assert runtime is not None
     metrics = engine.metrics
     return OffloadRunResult(
         tick_lead=tick_lead,

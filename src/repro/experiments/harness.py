@@ -11,16 +11,26 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable
 
+from repro.cluster import build_opencraft_cluster, build_servo_cluster
 from repro.core import ServoConfig, build_servo_server
-from repro.server import GameConfig, GameServer, make_minecraft, make_opencraft
+from repro.server import GameConfig, make_minecraft, make_opencraft
 from repro.sim import SimulationEngine
+from repro.workload import GameHost
 
-#: game name -> factory(engine, game_config) -> GameServer
-GAME_FACTORIES: dict[str, Callable[[SimulationEngine, GameConfig], GameServer]] = {
+#: game name -> default-config factory(engine, game_config) -> GameHost.
+#: Each factory builds its variant with default knobs (clusters: 2 shards);
+#: ``build_game_server`` layers the ``servo_config`` / ``shards`` arguments
+#: on top for the names that accept them.
+GAME_FACTORIES: dict[str, Callable[[SimulationEngine, GameConfig], GameHost]] = {
     "opencraft": make_opencraft,
     "minecraft": make_minecraft,
     "servo": lambda engine, config: build_servo_server(engine, config),
+    "opencraft-cluster": lambda engine, config: build_opencraft_cluster(engine, config),
+    "servo-cluster": lambda engine, config: build_servo_cluster(engine, config),
 }
+
+#: the game names that build a multi-shard cluster rather than one server
+CLUSTER_GAMES = frozenset({"opencraft-cluster", "servo-cluster"})
 
 
 @dataclass(frozen=True)
@@ -39,6 +49,8 @@ class ExperimentSettings:
     repetitions: int = 3
     #: samples for pure latency-distribution experiments
     latency_samples: int = 2000
+    #: virtual seconds of warm-up before measurements start (cluster sweeps)
+    warmup_s: float = 5.0
 
     def scaled(self, **overrides) -> "ExperimentSettings":
         """A copy with some fields replaced (used by benchmarks)."""
@@ -61,13 +73,25 @@ def build_game_server(
     engine: SimulationEngine,
     game_config: GameConfig | None = None,
     servo_config: ServoConfig | None = None,
-) -> GameServer:
-    """Build a server by game name ("opencraft", "minecraft" or "servo")."""
+    shards: int = 2,
+) -> GameHost:
+    """Build a game host by name.
+
+    Single-server names ("opencraft", "minecraft", "servo") return a
+    :class:`~repro.server.GameServer`; cluster names ("opencraft-cluster",
+    "servo-cluster") return a :class:`~repro.cluster.ClusterCoordinator` with
+    ``shards`` zone shards.  Both satisfy the
+    :class:`~repro.workload.GameHost` surface the experiments drive.
+    """
     if game not in GAME_FACTORIES:
         raise ValueError(f"unknown game {game!r}; expected one of {sorted(GAME_FACTORIES)}")
     config = game_config or GameConfig()
     if game == "servo":
         return build_servo_server(engine, config, servo_config)
+    if game == "servo-cluster":
+        return build_servo_cluster(engine, config, servo_config, shards=shards)
+    if game == "opencraft-cluster":
+        return build_opencraft_cluster(engine, config, shards=shards)
     return GAME_FACTORIES[game](engine, config)
 
 

@@ -10,6 +10,7 @@ monotonically with the player count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core import ServoConfig
 from repro.experiments.harness import ExperimentSettings, build_game_server
@@ -17,6 +18,25 @@ from repro.server import GameConfig
 from repro.sim import SimulationEngine
 from repro.workload import Scenario
 from repro.workload.scenarios import TICK_BUDGET_MS
+
+
+def search_last_supported(candidates: list[int], supports: Callable[[int], bool]) -> int:
+    """Largest candidate for which ``supports`` holds (0 if none).
+
+    Binary search exploiting that support is monotone in the candidate value
+    (more players never helps).  Shared by the single-server and cluster
+    max-players searches.
+    """
+    low, high = 0, len(candidates) - 1
+    best = 0
+    while low <= high:
+        middle = (low + high) // 2
+        if supports(candidates[middle]):
+            best = candidates[middle]
+            low = middle + 1
+        else:
+            high = middle - 1
+    return best
 
 
 @dataclass
@@ -67,15 +87,5 @@ def find_max_players(
         result.evaluated[players] = fraction
         return fraction < qos_tolerance
 
-    # Binary search over the candidate list: find the last supported count.
-    low, high = 0, len(candidates) - 1
-    best = 0
-    while low <= high:
-        middle = (low + high) // 2
-        if supports(candidates[middle]):
-            best = candidates[middle]
-            low = middle + 1
-        else:
-            high = middle - 1
-    result.max_players = best
+    result.max_players = search_last_supported(candidates, supports)
     return result

@@ -5,6 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.experiments.cluster_scalability import (
+    format_cluster_scalability,
+    run_cluster_scalability,
+)
 from repro.experiments.fig01_headline import format_fig01, run_fig01
 from repro.experiments.fig03_storage_latency import format_fig03, run_fig03
 from repro.experiments.fig07_scalability import (
@@ -58,6 +62,12 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
     "fig13": ExperimentEntry("fig13", "Terrain retrieval latency with caching", run_fig13, format_fig13),
     "sec4g": ExperimentEntry("sec4g", "Construct simulation rate by size", run_sec4g, format_sec4g),
     "tab01": ExperimentEntry("tab01", "Experiment overview", run_tab01, format_tab01),
+    "cluster": ExperimentEntry(
+        "cluster",
+        "Aggregate max players of zone-partitioned clusters (beyond the paper)",
+        run_cluster_scalability,
+        format_cluster_scalability,
+    ),
 }
 
 

@@ -11,7 +11,13 @@ The two baselines of the paper are assembled here (:func:`make_opencraft` and
 its serverless services into the same server.
 """
 
-from repro.server.chunkmanager import ChunkManager, LocalTerrainProvider, TerrainProvider
+from repro.server.builder import ServerBuilder
+from repro.server.chunkmanager import (
+    ChunkManager,
+    LocalTerrainProvider,
+    OwnershipRegion,
+    TerrainProvider,
+)
 from repro.server.config import GameConfig
 from repro.server.costmodel import (
     MINECRAFT_COST_MODEL,
@@ -21,7 +27,7 @@ from repro.server.costmodel import (
     TickWork,
 )
 from repro.server.entities import Avatar
-from repro.server.gameloop import GameServer, TickRecord
+from repro.server.gameloop import GameServer, ServerRuntime, TickRecord
 from repro.server.sc_engine import ConstructBackend, ConstructTickReport, LocalConstructBackend
 from repro.server.session import PlayerSession
 from repro.server.variants import make_minecraft, make_opencraft
@@ -40,8 +46,11 @@ __all__ = [
     "LocalConstructBackend",
     "TerrainProvider",
     "LocalTerrainProvider",
+    "OwnershipRegion",
     "ChunkManager",
+    "ServerBuilder",
     "GameServer",
+    "ServerRuntime",
     "TickRecord",
     "make_opencraft",
     "make_minecraft",

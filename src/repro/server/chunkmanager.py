@@ -59,6 +59,19 @@ class GenerationResult:
     consumed_local_cpu: bool
 
 
+class OwnershipRegion:
+    """Interface for a server's ownership region in a partitioned world.
+
+    A single-server deployment owns everything (``region=None``); a cluster
+    shard owns one zone and must never load, generate or tick chunks outside
+    it — the chunk manager filters every required-chunk computation through
+    this predicate.
+    """
+
+    def contains(self, position: ChunkPos) -> bool:
+        raise NotImplementedError
+
+
 class TerrainProvider:
     """Interface for components that produce newly generated chunks."""
 
@@ -174,6 +187,7 @@ class ChunkManager:
         max_integrations_per_tick: int = 8,
         eviction_interval_ticks: int = 40,
         persist_on_evict: bool = True,
+        region: Optional[OwnershipRegion] = None,
     ) -> None:
         self.engine = engine
         self.world = world
@@ -185,13 +199,15 @@ class ChunkManager:
         self.max_integrations_per_tick = int(max_integrations_per_tick)
         self.eviction_interval_ticks = int(eviction_interval_ticks)
         self.persist_on_evict = persist_on_evict
+        self.region = region
         self._view_radius_chunks = int(math.ceil(self.view_distance_blocks / CHUNK_SIZE))
         self._keep_radius_chunks = int(
             math.ceil((self.view_distance_blocks + self.unload_margin_blocks) / CHUNK_SIZE)
         )
         self._pending: set[ChunkPos] = set()
         self._ready: list[_ReadyChunk] = []
-        self._protected: set[ChunkPos] = set()
+        #: pin counts: how many protectors (e.g. constructs) pin each chunk
+        self._protected: dict[ChunkPos, int] = {}
         #: per-player cached (chunk position, required chunk set)
         self._player_views: dict[int, tuple[ChunkPos, frozenset[ChunkPos]]] = {}
         #: reference counts: how many players currently require each chunk
@@ -218,15 +234,43 @@ class ChunkManager:
         loaded = 0
         for dx, dz in _ring_offsets(radius_chunks):
             position = ChunkPos(center_chunk.cx + dx, center_chunk.cz + dz)
-            if self.world.is_loaded(position):
+            if not self._owns(position) or self.world.is_loaded(position):
                 continue
             self.world.add_chunk(self.generator.generate_chunk(position))
             loaded += 1
         return loaded
 
+    def _owns(self, position: ChunkPos) -> bool:
+        return self.region is None or self.region.contains(position)
+
     def protect(self, positions: list[ChunkPos]) -> None:
-        """Mark chunks that must never be evicted (e.g. construct areas)."""
-        self._protected.update(positions)
+        """Pin chunks that must never be evicted (e.g. construct areas).
+
+        Pins are reference-counted: protecting the same chunk twice (two
+        overlapping constructs) requires two :meth:`unprotect` calls before
+        the chunk becomes evictable again.
+        """
+        for position in positions:
+            self._protected[position] = self._protected.get(position, 0) + 1
+
+    @staticmethod
+    def _decref(counts: dict[ChunkPos, int], position: ChunkPos) -> None:
+        """Decrement a chunk's reference count, dropping the entry at zero."""
+        count = counts.get(position, 0) - 1
+        if count <= 0:
+            counts.pop(position, None)
+        else:
+            counts[position] = count
+
+    def unprotect(self, positions: list[ChunkPos]) -> None:
+        """Release pins taken by :meth:`protect`; the last release unpins."""
+        for position in positions:
+            self._decref(self._protected, position)
+
+    @property
+    def protected_chunks(self) -> set[ChunkPos]:
+        """The chunks currently pinned against eviction."""
+        return set(self._protected)
 
     # -- asynchronous completion ---------------------------------------------------------
 
@@ -275,19 +319,20 @@ class ChunkManager:
         cached = self._player_views.get(avatar.player_id)
         if cached is not None and cached[0] == current_chunk:
             return
+        # In-view chunks outside the ownership region are the neighbor
+        # shard's responsibility (a sharded deployment serves them to the
+        # client from their owner), so this shard neither loads them nor
+        # counts them against its view-range metric.
         required = frozenset(
-            ChunkPos(current_chunk.cx + dx, current_chunk.cz + dz)
+            position
             for dx, dz in _ring_offsets(self._view_radius_chunks)
+            if self._owns(position := ChunkPos(current_chunk.cx + dx, current_chunk.cz + dz))
         )
         old_required = cached[1] if cached is not None else frozenset()
         for position in required - old_required:
             self._chunk_refcounts[position] = self._chunk_refcounts.get(position, 0) + 1
         for position in old_required - required:
-            count = self._chunk_refcounts.get(position, 0) - 1
-            if count <= 0:
-                self._chunk_refcounts.pop(position, None)
-            else:
-                self._chunk_refcounts[position] = count
+            self._decref(self._chunk_refcounts, position)
         self._player_views[avatar.player_id] = (current_chunk, required)
         # Chunks that entered the view and were never sent to this client must
         # be streamed (a few per tick); clients cache terrain, so chunks sent
@@ -313,11 +358,7 @@ class ChunkManager:
         if cached is None:
             return
         for position in cached[1]:
-            count = self._chunk_refcounts.get(position, 0) - 1
-            if count <= 0:
-                self._chunk_refcounts.pop(position, None)
-            else:
-                self._chunk_refcounts[position] = count
+            self._decref(self._chunk_refcounts, position)
 
     def _stream_to_players(self) -> int:
         """Send queued, loaded chunks to clients (a few per player per tick)."""

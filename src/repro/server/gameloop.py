@@ -12,21 +12,30 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.constructs.circuit import SimulatedConstruct
 from repro.net.message import Message, MessageKind
-from repro.server.chunkmanager import ChunkManager
+from repro.server.chunkmanager import ChunkManager, OwnershipRegion
 from repro.server.config import GameConfig
 from repro.server.costmodel import TickCostModel, TickWork
 from repro.server.entities import Avatar
 from repro.server.sc_engine import ConstructBackend
-from repro.server.session import PlayerSession
+from repro.server.session import PlayerSession, restore_avatar_state, snapshot_session
 from repro.sim.engine import SimulationEngine
-from repro.storage.base import StorageBackend
+from repro.storage.base import StorageBackend, StorageOperation
 from repro.world.block import BlockType
-from repro.world.coords import BlockPos, block_to_chunk
+from repro.world.coords import BlockPos, ChunkPos, block_to_chunk
 from repro.world.world import ChunkNotLoadedError, VoxelWorld
+
+
+class ServerRuntime:
+    """Base class for backend-specific runtime handles attached to a server.
+
+    A server variant that wires extra services into the game server (e.g.
+    Servo's serverless platform) attaches a typed handle here so experiments
+    can inspect those services without resorting to dynamic attributes.
+    """
 
 
 @dataclass(frozen=True)
@@ -42,6 +51,44 @@ class TickRecord:
     view_range_blocks: float
 
 
+class TickLoop:
+    """Run-loop helpers shared by single servers and cluster coordinators.
+
+    Subclasses provide ``tick()``, an ``engine`` and an append-only
+    ``tick_records`` list; the helpers drive ticks and invoke the optional
+    ``before_tick(host, tick_index)`` workload callback before each one.
+    """
+
+    engine: SimulationEngine
+    tick_records: list[TickRecord]
+
+    def tick(self) -> TickRecord:
+        raise NotImplementedError
+
+    def run_ticks(
+        self, count: int, before_tick: Optional[Callable[["TickLoop", int], None]] = None
+    ) -> list[TickRecord]:
+        """Run ``count`` ticks, invoking ``before_tick(host, tick_index)`` first."""
+        records = []
+        for _ in range(int(count)):
+            if before_tick is not None:
+                before_tick(self, len(self.tick_records))
+            records.append(self.tick())
+        return records
+
+    def run_for_seconds(
+        self, seconds: float, before_tick: Optional[Callable[["TickLoop", int], None]] = None
+    ) -> list[TickRecord]:
+        """Run ticks until ``seconds`` of virtual time have elapsed."""
+        deadline_ms = self.engine.now_ms + seconds * 1000.0
+        records = []
+        while self.engine.now_ms < deadline_ms:
+            if before_tick is not None:
+                before_tick(self, len(self.tick_records))
+            records.append(self.tick())
+        return records
+
+
 @dataclass
 class ServerStatistics:
     """Aggregate counters maintained across the server's lifetime."""
@@ -53,7 +100,7 @@ class ServerStatistics:
     players_connected_total: int = 0
 
 
-class GameServer:
+class GameServer(TickLoop):
     """One MVE server instance (one virtual world)."""
 
     def __init__(
@@ -66,6 +113,9 @@ class GameServer:
         cost_model: TickCostModel,
         storage: Optional[StorageBackend] = None,
         name: str = "server",
+        runtime: Optional[ServerRuntime] = None,
+        region: Optional[OwnershipRegion] = None,
+        player_ids: Optional[Iterator[int]] = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -75,24 +125,61 @@ class GameServer:
         self.cost_model = cost_model
         self.storage = storage
         self.name = name
+        #: typed handle to backend-specific services (e.g. ServoRuntime)
+        self.runtime = runtime
+        #: ownership region when this server is one shard of a cluster
+        self.region = region
         self.sessions: dict[int, PlayerSession] = {}
         self.stats = ServerStatistics()
         self.tick_index = 0
-        self._player_ids = itertools.count(1)
+        # Cluster shards share one id iterator so player ids are world-unique.
+        self._player_ids = player_ids if player_ids is not None else itertools.count(1)
         self._rng = engine.rng(f"server:{name}")
         self._construct_cells: dict[BlockPos, int] = {}
+        self._construct_pins: dict[int, list[ChunkPos]] = {}
         self._last_persist_ms = 0.0
         #: hooks called at the start of every tick (used by Servo services)
         self.pre_tick_hooks: list[Callable[[int], None]] = []
         self.tick_records: list[TickRecord] = []
 
+    @property
+    def servo(self) -> Optional[ServerRuntime]:
+        """Backward-compatible alias for the typed :attr:`runtime` handle."""
+        return self.runtime
+
     # -- player lifecycle -----------------------------------------------------------
 
-    def connect_player(self, name: str | None = None) -> PlayerSession:
-        """Connect a new player at the spawn position."""
-        player_id = next(self._player_ids)
+    def connect_player(
+        self,
+        name: str | None = None,
+        position: BlockPos | None = None,
+        player_id: int | None = None,
+        restore: bool = True,
+    ) -> PlayerSession:
+        """Connect a player, restoring persisted state when it exists.
+
+        ``position`` overrides both the spawn position and any stored
+        position (a migration hands the avatar over at its live position);
+        ``player_id`` lets a cluster coordinator preserve a player's id across
+        a shard handoff; ``restore=False`` skips the storage lookup entirely
+        (the coordinator applies the authoritative migrated state itself, so
+        a stale shard-local read would only pollute the load metrics).
+        """
+        if player_id is not None:
+            player_id = int(player_id)
+            if player_id in self.sessions:
+                raise ValueError(f"player id {player_id} is already connected")
+        else:
+            player_id = next(self._player_ids)
+            # Skip ids taken by explicit connects (e.g. migrated-in players).
+            while player_id in self.sessions:
+                player_id = next(self._player_ids)
         player_name = name or f"player-{player_id}"
-        avatar = Avatar(player_id=player_id, name=player_name, position=self.config.spawn_position)
+        avatar = Avatar(
+            player_id=player_id,
+            name=player_name,
+            position=position if position is not None else self.config.spawn_position,
+        )
         session = PlayerSession(
             player_id=player_id,
             name=player_name,
@@ -101,22 +188,38 @@ class GameServer:
         )
         self.sessions[player_id] = session
         self.stats.players_connected_total += 1
-        if self.storage is not None:
+        if self.storage is not None and restore:
             # Player data is loaded from persistent storage on connect (Figure 3).
             key = f"player_{player_name}"
             if self.storage.exists(key):
                 operation = self.storage.read(key)
                 self.engine.metrics.histogram("player_load_ms").record(operation.latency_ms)
+                session.restore_latency_ms = operation.latency_ms
+                restore_avatar_state(
+                    avatar, operation.data or b"", restore_position=position is None
+                )
             else:
-                self.storage.write(key, player_name.encode("utf-8"))
+                self.storage.write(key, snapshot_session(session))
         return session
 
-    def disconnect_player(self, player_id: int) -> None:
+    def disconnect_player(self, player_id: int, persist: bool = True) -> Optional[StorageOperation]:
+        """Disconnect a player, persisting their state (unless ``persist=False``).
+
+        Returns the storage write that saved the player's state, or ``None``
+        when the server has no storage or persistence was skipped (a cluster
+        migration serializes the state through the shared session store
+        instead).
+        """
         session = self.sessions.pop(player_id, None)
         if session is None:
             raise KeyError(f"no connected player with id {player_id}")
         session.disconnected = True
+        operation = None
+        if persist and self.storage is not None:
+            operation = self.storage.write(f"player_{session.name}", snapshot_session(session))
+            self.engine.metrics.histogram("player_save_ms").record(operation.latency_ms)
         self.chunks.forget_player(player_id)
+        return operation
 
     @property
     def player_count(self) -> int:
@@ -132,13 +235,17 @@ class GameServer:
             if self.world.block_loaded(cell.position):
                 self.world.set_block(cell.position, cell.block_type)
         # Construct areas stay loaded so their simulation never pauses mid-experiment.
-        self.chunks.protect(sorted({block_to_chunk(pos) for pos in construct.positions}))
+        pins = sorted({block_to_chunk(pos) for pos in construct.positions})
+        self._construct_pins[construct.construct_id] = pins
+        self.chunks.protect(pins)
 
     def remove_construct(self, construct_id: int) -> None:
         self.constructs.remove_construct(construct_id)
         for position, owner in list(self._construct_cells.items()):
             if owner == construct_id:
                 del self._construct_cells[position]
+        # Release the eviction pins place_construct took for this construct.
+        self.chunks.unprotect(self._construct_pins.pop(construct_id, []))
 
     @property
     def construct_count(self) -> int:
@@ -205,8 +312,13 @@ class GameServer:
 
     # -- the tick -------------------------------------------------------------------------
 
-    def tick(self) -> TickRecord:
-        """Execute one simulation tick and advance the virtual clock."""
+    def tick(self, advance_clock: bool = True) -> TickRecord:
+        """Execute one simulation tick and advance the virtual clock.
+
+        A cluster coordinator passes ``advance_clock=False`` so every shard
+        ticks at the same virtual start time; the coordinator then advances
+        the shared clock once by the slowest shard's duration (lockstep).
+        """
         start_ms = self.engine.now_ms
         work = TickWork(players=self.player_count)
 
@@ -251,6 +363,9 @@ class GameServer:
         duration_ms = self.cost_model.duration_ms(work, self._rng)
         metrics = self.engine.metrics
         metrics.histogram("tick_duration_ms").record(duration_ms)
+        if self.region is not None:
+            # Cluster shards share one metric registry; keep a per-shard view.
+            metrics.histogram(f"tick_duration_ms:{self.name}").record(duration_ms)
         metrics.series("tick_duration_over_time").record(start_ms, duration_ms)
         metrics.series("view_range_over_time").record(start_ms, chunk_report.min_view_range_blocks)
         metrics.series("players_over_time").record(start_ms, self.player_count)
@@ -270,33 +385,9 @@ class GameServer:
 
         # The next tick starts after the tick budget, or immediately after an
         # overlong tick (the server falls behind, it does not skip work).
-        self.engine.advance_to(start_ms + max(self.config.tick_interval_ms, duration_ms))
+        if advance_clock:
+            self.engine.advance_to(start_ms + max(self.config.tick_interval_ms, duration_ms))
         return record
-
-    # -- run helpers ------------------------------------------------------------------------
-
-    def run_ticks(
-        self, count: int, before_tick: Optional[Callable[["GameServer", int], None]] = None
-    ) -> list[TickRecord]:
-        """Run ``count`` ticks, invoking ``before_tick(server, tick_index)`` before each."""
-        records = []
-        for _ in range(int(count)):
-            if before_tick is not None:
-                before_tick(self, self.tick_index)
-            records.append(self.tick())
-        return records
-
-    def run_for_seconds(
-        self, seconds: float, before_tick: Optional[Callable[["GameServer", int], None]] = None
-    ) -> list[TickRecord]:
-        """Run ticks until ``seconds`` of virtual time have elapsed."""
-        deadline_ms = self.engine.now_ms + seconds * 1000.0
-        records = []
-        while self.engine.now_ms < deadline_ms:
-            if before_tick is not None:
-                before_tick(self, self.tick_index)
-            records.append(self.tick())
-        return records
 
     # -- reporting ---------------------------------------------------------------------------
 

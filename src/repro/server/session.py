@@ -1,11 +1,21 @@
-"""Player sessions: the server-side endpoint of one connected client."""
+"""Player sessions: the server-side endpoint of one connected client.
+
+Besides the live session object this module defines the serialized form of a
+player's state: :func:`snapshot_session` turns a session into bytes suitable
+for persistent storage, and :func:`restore_avatar_state` applies stored bytes
+back onto a (fresh) avatar.  The same format is used for ordinary
+disconnect/reconnect persistence and for cross-shard player migration in a
+cluster, where the snapshot travels through the shared storage service.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.net.message import Message, MessageKind
 from repro.server.entities import Avatar
+from repro.world.coords import BlockPos
 
 
 @dataclass
@@ -20,6 +30,8 @@ class PlayerSession:
     #: state updates sent to this client (a proxy for outbound bandwidth)
     updates_sent: int = 0
     disconnected: bool = False
+    #: latency of the storage read that restored this session's state (0 if none)
+    restore_latency_ms: float = 0.0
 
     def enqueue(self, message: Message) -> None:
         """Queue a client message for processing in the next tick."""
@@ -46,3 +58,57 @@ class PlayerSession:
 
     def chat(self, text: str) -> None:
         self.enqueue(Message(MessageKind.CHAT, self.player_id, {"text": text}))
+
+
+# -- serialized player state -------------------------------------------------------
+
+
+def snapshot_session(session: PlayerSession) -> bytes:
+    """Serialize the persistent part of a session (the avatar's state)."""
+    avatar = session.avatar
+    state = {
+        "name": session.name,
+        "position": [avatar.position.x, avatar.position.y, avatar.position.z],
+        "distance_travelled": avatar.distance_travelled,
+        "inventory_item": avatar.inventory_item,
+        "chat_messages_sent": avatar.chat_messages_sent,
+        "blocks_placed": avatar.blocks_placed,
+        "blocks_broken": avatar.blocks_broken,
+    }
+    return json.dumps(state, sort_keys=True).encode("utf-8")
+
+
+def restore_avatar_state(avatar: Avatar, data: bytes, restore_position: bool = True) -> bool:
+    """Apply a stored snapshot onto ``avatar``; returns False for unreadable data.
+
+    ``restore_position`` is disabled when the caller already knows the
+    authoritative position (e.g. a migration hands the avatar over at its live
+    position, which may be newer than the stored one).
+    """
+    try:
+        state = json.loads(data.decode("utf-8"))
+        if not isinstance(state, dict):
+            return False
+        # Parse every field before touching the avatar, so a snapshot with a
+        # corrupt field leaves the avatar untouched instead of half-restored.
+        position = state.get("position")
+        parsed_position = (
+            BlockPos(int(position[0]), int(position[1]), int(position[2]))
+            if isinstance(position, list) and len(position) == 3
+            else None
+        )
+        distance_travelled = float(state.get("distance_travelled", avatar.distance_travelled))
+        inventory_item = str(state.get("inventory_item", avatar.inventory_item))
+        chat_messages_sent = int(state.get("chat_messages_sent", avatar.chat_messages_sent))
+        blocks_placed = int(state.get("blocks_placed", avatar.blocks_placed))
+        blocks_broken = int(state.get("blocks_broken", avatar.blocks_broken))
+    except (UnicodeDecodeError, json.JSONDecodeError, TypeError, ValueError):
+        return False
+    if restore_position and parsed_position is not None:
+        avatar.position = parsed_position
+    avatar.distance_travelled = distance_travelled
+    avatar.inventory_item = inventory_item
+    avatar.chat_messages_sent = chat_messages_sent
+    avatar.blocks_placed = blocks_placed
+    avatar.blocks_broken = blocks_broken
+    return True

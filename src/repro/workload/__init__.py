@@ -17,7 +17,7 @@ from repro.workload.behavior import (
     StarBehavior,
     behavior_by_code,
 )
-from repro.workload.bots import BotPlayer, BotSwarm, JoinSchedule
+from repro.workload.bots import BotPlayer, BotSwarm, GameHost, JoinSchedule, SessionHandle
 from repro.workload.constructs import place_standard_constructs
 from repro.workload.scenarios import Scenario, ScenarioResult, TABLE_I_SCENARIOS
 
@@ -30,6 +30,8 @@ __all__ = [
     "behavior_by_code",
     "BotPlayer",
     "BotSwarm",
+    "GameHost",
+    "SessionHandle",
     "JoinSchedule",
     "place_standard_constructs",
     "Scenario",

@@ -1,22 +1,84 @@
 """Emulated players (bots) and join schedules.
 
-A :class:`BotSwarm` owns a set of bots, connects them to a server according to
-a :class:`JoinSchedule` (all at once or staggered, as in Figure 12a where a
-player joins every ten seconds), and produces the per-tick driver callback the
-game loop runs before every tick.
+A :class:`BotSwarm` owns a set of bots, connects them to a game host
+according to a :class:`JoinSchedule` (all at once or staggered, as in
+Figure 12a where a player joins every ten seconds), and produces the per-tick
+driver callback the game loop runs before every tick.
+
+The swarm addresses any :class:`GameHost`: a single
+:class:`~repro.server.GameServer` or a
+:class:`~repro.cluster.ClusterCoordinator`.  In a cluster the bots talk to
+the coordinator and hold :class:`~repro.cluster.ClusterSession` handles, so
+which shard serves a bot — and the migrations that reassign it — is invisible
+to the workload.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.server.gameloop import GameServer
-from repro.server.session import PlayerSession
+from repro.net.message import Message
+from repro.server.config import GameConfig
+from repro.server.entities import Avatar
+from repro.server.gameloop import TickRecord
+from repro.sim.engine import SimulationEngine
 from repro.workload.behavior import Behavior
 from repro.world.coords import BlockPos
+
+
+@runtime_checkable
+class SessionHandle(Protocol):
+    """What a bot needs from its session: one server's, or a cluster's."""
+
+    player_id: int
+
+    @property
+    def avatar(self) -> Avatar: ...
+
+    @property
+    def disconnected(self) -> bool: ...
+
+    def enqueue(self, message: Message) -> None: ...
+
+
+@runtime_checkable
+class ChunkPreloader(Protocol):
+    """The slice of chunk management the workload layer needs."""
+
+    def preload_area(self, center: BlockPos, radius_blocks: float) -> int: ...
+
+
+@runtime_checkable
+class GameHost(Protocol):
+    """The driving surface shared by ``GameServer`` and ``ClusterCoordinator``."""
+
+    engine: SimulationEngine
+    config: GameConfig
+    name: str
+    tick_records: list[TickRecord]
+
+    @property
+    def chunks(self) -> ChunkPreloader: ...
+
+    @property
+    def player_count(self) -> int: ...
+
+    def connect_player(self, name: str | None = None) -> SessionHandle: ...
+
+    def place_construct(self, construct) -> None: ...
+
+    def tick(self) -> TickRecord: ...
+
+    def run_ticks(
+        self, count: int, before_tick: Optional[Callable[..., None]] = None
+    ) -> list[TickRecord]: ...
+
+    def run_for_seconds(
+        self, seconds: float, before_tick: Optional[Callable[..., None]] = None
+    ) -> list[TickRecord]: ...
 
 
 @dataclass
@@ -25,14 +87,14 @@ class BotPlayer:
 
     name: str
     behavior: Behavior
-    session: Optional[PlayerSession] = None
+    session: Optional[SessionHandle] = None
     spawn: Optional[BlockPos] = None
 
     @property
     def connected(self) -> bool:
         return self.session is not None and not self.session.disconnected
 
-    def act(self, server: GameServer, tick_index: int, rng: np.random.Generator) -> None:
+    def act(self, server: GameHost, tick_index: int, rng: np.random.Generator) -> None:
         """Queue this tick's messages on the bot's session."""
         if not self.connected:
             return
@@ -68,7 +130,7 @@ class JoinSchedule:
 
 
 class BotSwarm:
-    """A population of bots driving one game server."""
+    """A population of bots driving one game host (a server or a cluster)."""
 
     def __init__(
         self,
@@ -88,7 +150,7 @@ class BotSwarm:
     def connected_count(self) -> int:
         return sum(1 for bot in self.bots if bot.connected)
 
-    def _connect_next(self, server: GameServer) -> None:
+    def _connect_next(self, server: GameHost) -> None:
         if self._next_join_index >= len(self.bots):
             return
         bot = self.bots[self._next_join_index]
@@ -96,7 +158,7 @@ class BotSwarm:
         bot.spawn = bot.session.avatar.position
         self._next_join_index += 1
 
-    def install(self, server: GameServer) -> Callable[[GameServer, int], None]:
+    def install(self, server: GameHost) -> Callable[[GameHost, int], None]:
         """Connect the initial bots and return the per-tick driver callback."""
         self._rng = server.engine.rng("bots")
         initial = self.schedule.initial
@@ -107,7 +169,7 @@ class BotSwarm:
 
         start_ms = server.engine.now_ms
 
-        def driver(driven_server: GameServer, tick_index: int) -> None:
+        def driver(driven_server: GameHost, tick_index: int) -> None:
             assert self._rng is not None
             if self.schedule.interval_s is not None:
                 elapsed_s = (driven_server.engine.now_ms - start_ms) / 1000.0

@@ -9,11 +9,14 @@ from __future__ import annotations
 
 from repro.constructs.circuit import SimulatedConstruct
 from repro.constructs.library import standard_construct
-from repro.server.gameloop import GameServer
+from repro.workload.bots import GameHost
 
 
-def place_standard_constructs(server: GameServer, count: int) -> list[SimulatedConstruct]:
-    """Place ``count`` standard workload constructs on the server."""
+def place_standard_constructs(server: GameHost, count: int) -> list[SimulatedConstruct]:
+    """Place ``count`` standard workload constructs on a server or cluster.
+
+    A cluster host routes each construct to the shard owning its anchor cell.
+    """
     if count < 0:
         raise ValueError("count must be non-negative")
     constructs = []

@@ -12,10 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.server.gameloop import GameServer
 from repro.sim.metrics import BoxplotStats, boxplot_stats, fraction_exceeding
 from repro.workload.behavior import Behavior, behavior_by_code
-from repro.workload.bots import BotSwarm, JoinSchedule
+from repro.workload.bots import BotSwarm, GameHost, JoinSchedule
 from repro.workload.constructs import place_standard_constructs
 
 #: the paper's QoS threshold: a tick must finish within the 50 ms budget
@@ -135,13 +134,15 @@ class Scenario:
         )
         return BotSwarm(behaviors, schedule=schedule)
 
-    def run(self, server: GameServer) -> ScenarioResult:
-        """Drive ``server`` with this scenario and collect measurements.
+    def run(self, server: GameHost) -> ScenarioResult:
+        """Drive a game host (server or cluster) and collect measurements.
 
-        The server must have been built with a matching world type; the
-        scenario preloads the spawn area, places the construct workload,
-        connects the bots, runs a short warm-up, then measures for
-        ``duration_s`` virtual seconds.
+        The host must have been built with a matching world type; the
+        scenario preloads the spawn area (every zone's spawn points, for a
+        cluster), places the construct workload, connects the bots, runs a
+        short warm-up, then measures for ``duration_s`` virtual seconds.  For
+        a cluster the recorded tick durations are the lockstep *round*
+        durations — the slowest shard of each round.
         """
         server.chunks.preload_area(server.config.spawn_position, self.preload_radius_blocks)
         place_standard_constructs(server, self.constructs)

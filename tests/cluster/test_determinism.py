@@ -1,0 +1,50 @@
+"""Cluster determinism: the same seed must reproduce the run bit-for-bit.
+
+The acceptance criterion for the cluster layer is that two runs with the same
+seed produce an identical migration schedule, identical tick records and
+identical per-shard metrics — the virtual-time lockstep and named random
+streams make the whole cluster a deterministic function of the seed.
+"""
+
+from repro.cluster import build_servo_cluster
+from repro.server import GameConfig
+from repro.sim import SimulationEngine
+from repro.workload import Scenario
+
+
+def run_cluster(seed: int):
+    engine = SimulationEngine(seed=seed)
+    cluster = build_servo_cluster(engine, GameConfig(world_type="flat"), shards=2)
+    scenario = Scenario.behaviour_a(players=12, constructs=4, duration_s=4.0)
+    result = scenario.run(cluster)
+    return engine, cluster, result
+
+
+def test_same_seed_reproduces_migrations_ticks_and_metrics():
+    engine_a, cluster_a, result_a = run_cluster(seed=1234)
+    engine_b, cluster_b, result_b = run_cluster(seed=1234)
+
+    # Identical migration schedule (who, when, where, how long).
+    assert cluster_a.migration_records == cluster_b.migration_records
+    # Identical cluster round records and measured tick durations.
+    assert cluster_a.tick_records == cluster_b.tick_records
+    assert result_a.tick_durations_ms == result_b.tick_durations_ms
+    # Identical per-shard tick records and per-shard metric histograms.
+    for shard_a, shard_b in zip(cluster_a.shards, cluster_b.shards):
+        assert shard_a.tick_records == shard_b.tick_records
+        name = f"tick_duration_ms:{shard_a.name}"
+        assert (
+            engine_a.metrics.histogram(name).samples
+            == engine_b.metrics.histogram(name).samples
+        )
+    assert (
+        engine_a.metrics.histogram("migration_ms").samples
+        == engine_b.metrics.histogram("migration_ms").samples
+    )
+    assert engine_a.metrics.counter("migrations") == engine_b.metrics.counter("migrations")
+
+
+def test_different_seeds_diverge():
+    _, _, result_a = run_cluster(seed=1)
+    _, _, result_b = run_cluster(seed=2)
+    assert result_a.tick_durations_ms != result_b.tick_durations_ms

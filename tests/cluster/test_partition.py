@@ -1,0 +1,91 @@
+"""Tests for world partitioning: zones, ownership regions and spawn placement."""
+
+import pytest
+
+from repro.cluster.partition import WorldPartitioner, ZoneRegion
+from repro.world.coords import CHUNK_SIZE, BlockPos, ChunkPos
+
+
+def test_partitioner_validates_arguments():
+    with pytest.raises(ValueError):
+        WorldPartitioner(0)
+    with pytest.raises(ValueError):
+        WorldPartitioner(2, zone_width_chunks=0)
+
+
+def test_single_shard_owns_everything():
+    partitioner = WorldPartitioner(1)
+    region = partitioner.region(0)
+    for cx in (-1000, 0, 1000):
+        assert partitioner.zone_of(ChunkPos(cx, 0)) == 0
+        assert region.contains(ChunkPos(cx, 5))
+    assert partitioner.boundary_count() == 0
+    with pytest.raises(ValueError):
+        partitioner.boundary_spawn(0, BlockPos(0, 65, 0))
+
+
+def test_zones_are_contiguous_strips_with_unbounded_edges():
+    partitioner = WorldPartitioner(4, zone_width_chunks=8)
+    # Interior boundaries at cx = 8, 16, 24.
+    assert partitioner.zone_of(ChunkPos(-500, 0)) == 0
+    assert partitioner.zone_of(ChunkPos(7, 0)) == 0
+    assert partitioner.zone_of(ChunkPos(8, 0)) == 1
+    assert partitioner.zone_of(ChunkPos(15, 3)) == 1
+    assert partitioner.zone_of(ChunkPos(16, 0)) == 2
+    assert partitioner.zone_of(ChunkPos(24, 0)) == 3
+    assert partitioner.zone_of(ChunkPos(9999, 0)) == 3
+
+
+def test_every_chunk_has_exactly_one_owner():
+    partitioner = WorldPartitioner(3, zone_width_chunks=4)
+    regions = partitioner.regions()
+    for cx in range(-20, 40):
+        position = ChunkPos(cx, 7)
+        owners = [region.zone_id for region in regions if region.contains(position)]
+        assert owners == [partitioner.zone_of(position)]
+
+
+def test_block_exactly_on_zone_edge_belongs_to_the_right_zone():
+    partitioner = WorldPartitioner(2, zone_width_chunks=8)
+    boundary_x = 8 * CHUNK_SIZE  # first block of the boundary chunk
+    assert partitioner.zone_of_block(BlockPos(boundary_x, 65, 0)) == 1
+    assert partitioner.zone_of_block(BlockPos(boundary_x - 1, 65, 0)) == 0
+    # The zone regions agree with zone_of_block on the edge.
+    assert partitioner.region(1).contains_block(BlockPos(boundary_x, 65, 0))
+    assert not partitioner.region(0).contains_block(BlockPos(boundary_x, 65, 0))
+
+
+def test_region_validates_zone_id():
+    partitioner = WorldPartitioner(2)
+    with pytest.raises(ValueError):
+        partitioner.region(2)
+    with pytest.raises(ValueError):
+        partitioner.zone_spawn(-1, BlockPos(0, 65, 0))
+
+
+def test_zone_region_dataclass_contains():
+    region = ZoneRegion(zone_id=1, min_cx=4, max_cx=8)
+    assert not region.contains(ChunkPos(3, 0))
+    assert region.contains(ChunkPos(4, 0))
+    assert region.contains(ChunkPos(7, -2))
+    assert not region.contains(ChunkPos(8, 0))
+
+
+def test_spawns_land_in_their_zone():
+    base = BlockPos(8, 65, 8)
+    partitioner = WorldPartitioner(4, zone_width_chunks=8)
+    for zone in range(4):
+        spawn = partitioner.zone_spawn(zone, base)
+        assert partitioner.zone_of_block(spawn) == zone
+        assert spawn.y == base.y
+    for boundary in range(partitioner.boundary_count()):
+        spawn = partitioner.boundary_spawn(boundary, base)
+        # Boundary spawns sit just left of the edge, owned by the left zone.
+        assert partitioner.zone_of_block(spawn) == boundary
+        edge_x = (boundary + 1) * 8 * CHUNK_SIZE
+        assert 0 < edge_x - spawn.x <= CHUNK_SIZE
+
+
+def test_single_shard_spawn_is_the_base_spawn():
+    base = BlockPos(8, 65, 8)
+    assert WorldPartitioner(1).zone_spawn(0, base) == base

@@ -188,3 +188,64 @@ def test_local_provider_throughput_is_limited_by_workers(engine):
 def test_local_provider_requires_a_worker(engine):
     with pytest.raises(ValueError):
         LocalTerrainProvider(engine, FlatTerrainGenerator(seed=0), workers=0)
+
+
+def test_protect_and_unprotect_are_reference_counted(engine):
+    manager, _, _ = make_manager(engine)
+    pin = ChunkPos(1, 1)
+    manager.protect([pin])
+    manager.protect([pin])
+    assert pin in manager.protected_chunks
+    manager.unprotect([pin])
+    assert pin in manager.protected_chunks
+    manager.unprotect([pin])
+    assert pin not in manager.protected_chunks
+    # Unprotecting an unknown chunk is a harmless no-op.
+    manager.unprotect([ChunkPos(9, 9)])
+
+
+def test_protected_chunks_survive_eviction(engine):
+    manager, world, _ = make_manager(engine)
+    manager.preload_area(BlockPos(0, 65, 0), 64.0)
+    pin = ChunkPos(0, 0)
+    manager.protect([pin])
+    # Move the player far away and run enough ticks to trigger eviction.
+    far = avatar_at(2000, 2000)
+    manager.preload_area(far.position, 48.0)
+    for _ in range(6):
+        manager.update([far])
+    assert world.is_loaded(pin)
+    manager.unprotect([pin])
+    for _ in range(6):
+        manager.update([far])
+    assert not world.is_loaded(pin)
+
+
+class _StripRegion:
+    """Test region: only chunks with non-negative cx are owned."""
+
+    def contains(self, position):
+        return position.cx >= 0
+
+
+def test_ownership_region_filters_loading_and_preload(engine):
+    generator = FlatTerrainGenerator(seed=1)
+    world = VoxelWorld()
+    provider = LocalTerrainProvider(engine, generator, workers=2, work_ms=50.0)
+    manager = ChunkManager(
+        engine=engine,
+        world=world,
+        generator=generator,
+        provider=provider,
+        view_distance_blocks=48.0,
+        region=_StripRegion(),
+    )
+    manager.preload_area(BlockPos(0, 65, 0), 64.0)
+    assert all(position.cx >= 0 for position in world.loaded_chunk_positions)
+    # An avatar straddling the region edge only requests owned chunks.
+    manager.update([avatar_at(0, 0)])
+    for _ in range(50):
+        engine.advance_by(60.0)
+        manager.update([avatar_at(0, 0)])
+    assert all(position.cx >= 0 for position in world.loaded_chunk_positions)
+    assert all(position.cx >= 0 for position in manager._chunk_refcounts)

@@ -142,6 +142,82 @@ def test_player_data_is_persisted_and_loaded(engine):
     assert len(engine.metrics.histogram("player_load_ms")) == 1
 
 
+def test_disconnect_persists_player_state_and_records_save_latency(engine):
+    server = make_opencraft(engine, GameConfig(world_type="flat"))
+    session = server.connect_player("carol")
+    session.avatar.blocks_placed = 7
+    session.avatar.inventory_item = "torch"
+    operation = server.disconnect_player(session.player_id)
+    assert operation is not None and operation.key == "player_carol"
+    assert len(engine.metrics.histogram("player_save_ms")) == 1
+    # Reconnecting restores the persisted avatar state.
+    restored = server.connect_player("carol")
+    assert restored.avatar.blocks_placed == 7
+    assert restored.avatar.inventory_item == "torch"
+    assert restored.restore_latency_ms > 0.0
+
+
+def test_disconnect_with_persist_disabled_skips_the_storage_write(engine):
+    server = make_opencraft(engine, GameConfig(world_type="flat"))
+    session = server.connect_player("dave")
+    assert server.disconnect_player(session.player_id, persist=False) is None
+    assert len(engine.metrics.histogram("player_save_ms")) == 0
+
+
+def test_remove_construct_releases_chunk_pins(opencraft):
+    construct = build_wire_line(length=3, origin=BlockPos(2, 66, 2))
+    opencraft.place_construct(construct)
+    assert opencraft.chunks.protected_chunks
+    opencraft.remove_construct(construct.construct_id)
+    assert not opencraft.chunks.protected_chunks
+
+
+def test_overlapping_construct_pins_are_reference_counted(opencraft):
+    # Two constructs in the same chunk: removing one must keep the pin.
+    first = build_wire_line(length=3, origin=BlockPos(2, 66, 2))
+    second = build_wire_line(length=3, origin=BlockPos(2, 70, 6))
+    opencraft.place_construct(first)
+    opencraft.place_construct(second)
+    pinned = set(opencraft.chunks.protected_chunks)
+    opencraft.remove_construct(first.construct_id)
+    assert opencraft.chunks.protected_chunks == pinned
+    opencraft.remove_construct(second.construct_id)
+    assert not opencraft.chunks.protected_chunks
+
+
+def test_connect_at_explicit_position_and_id(engine):
+    server = make_opencraft(engine, GameConfig(world_type="flat"))
+    session = server.connect_player("eve", position=BlockPos(40, 65, 40), player_id=99)
+    assert session.player_id == 99
+    assert session.avatar.position == BlockPos(40, 65, 40)
+
+
+def test_connect_rejects_duplicate_explicit_id_and_auto_ids_skip_taken(engine):
+    server = make_opencraft(engine, GameConfig(world_type="flat"))
+    server.connect_player("first", player_id=2)
+    with pytest.raises(ValueError):
+        server.connect_player("second", player_id=2)
+    # Auto-assigned ids step over the explicitly taken one.
+    auto_a = server.connect_player()  # id 1
+    auto_b = server.connect_player()  # would be 2, must skip to 3
+    assert auto_a.player_id == 1
+    assert auto_b.player_id == 3
+
+
+def test_restore_avatar_state_rejects_corrupt_snapshots():
+    from repro.server.entities import Avatar
+    from repro.server.session import restore_avatar_state
+
+    avatar = Avatar(player_id=1, name="x", position=BlockPos(0, 65, 0))
+    assert not restore_avatar_state(avatar, b"\xff\xfe not json")
+    assert not restore_avatar_state(avatar, b'{"blocks_placed": "abc"}')
+    assert not restore_avatar_state(avatar, b'"a bare string"')
+    # A corrupt field leaves the avatar entirely untouched.
+    assert avatar.blocks_placed == 0 and avatar.position == BlockPos(0, 65, 0)
+    assert restore_avatar_state(avatar, b'{"blocks_placed": 4}')
+    assert avatar.blocks_placed == 4
+
+
 def test_minecraft_variant_uses_its_own_cost_model():
     engine_a, engine_b = SimulationEngine(seed=5), SimulationEngine(seed=5)
     opencraft = make_opencraft(engine_a, GameConfig(world_type="flat"))

@@ -21,7 +21,7 @@ TINY = ExperimentSettings(duration_s=4.0, player_step=100, max_players=200, repe
 def test_registry_lists_every_reproduced_artifact():
     expected = {
         "fig01", "fig03", "fig07a", "fig07b", "fig08", "fig09", "fig10",
-        "fig11", "fig12a", "fig12b", "fig13", "sec4g", "tab01",
+        "fig11", "fig12a", "fig12b", "fig13", "sec4g", "tab01", "cluster",
     }
     assert set(EXPERIMENTS) == expected
     with pytest.raises(KeyError):
@@ -34,6 +34,42 @@ def test_build_game_server_dispatch():
     assert build_game_server("servo", SimulationEngine(seed=0), GameConfig(world_type="flat")).name == "servo"
     with pytest.raises(ValueError):
         build_game_server("fortnite", engine)
+
+
+def test_build_game_server_unknown_name_lists_cluster_variants():
+    with pytest.raises(ValueError) as excinfo:
+        build_game_server("minecraft-cluster", SimulationEngine(seed=0))
+    assert "servo-cluster" in str(excinfo.value)
+    assert "opencraft-cluster" in str(excinfo.value)
+
+
+def test_build_game_server_cluster_dispatch():
+    cluster = build_game_server(
+        "servo-cluster", SimulationEngine(seed=0), GameConfig(world_type="flat"), shards=2
+    )
+    assert cluster.name == "servo-cluster"
+    assert cluster.shard_count == 2
+    baseline = build_game_server(
+        "opencraft-cluster", SimulationEngine(seed=0), GameConfig(world_type="flat"), shards=3
+    )
+    assert baseline.name == "opencraft-cluster"
+    assert [shard.name for shard in baseline.shards] == [
+        "opencraft-shard-0", "opencraft-shard-1", "opencraft-shard-2",
+    ]
+
+
+def test_cluster_scalability_experiment_tiny_run():
+    from repro.experiments.cluster_scalability import (
+        format_cluster_scalability,
+        run_cluster_scalability,
+    )
+
+    tiny = TINY.scaled(duration_s=2.0, max_players=100, warmup_s=1.0)
+    result = run_cluster_scalability(tiny, game="servo-cluster", shard_counts=(1, 2))
+    assert result.row(1).max_players > 0
+    assert result.row(2).max_players >= result.row(1).max_players
+    report = format_cluster_scalability(result)
+    assert "shards" in report and "migrations" in report
 
 
 def test_format_table_aligns_columns():
