@@ -13,17 +13,24 @@ sized constructs of Section IV-G).
 """
 
 from repro.constructs.circuit import Cell, SimulatedConstruct
+from repro.constructs.compiled import CompiledCircuit, compile_circuit
 from repro.constructs.components import ComponentType, component_from_block
 from repro.constructs.library import (
+    build_adder,
     build_clock,
     build_counter_farm,
     build_lamp_grid,
     build_oscillator,
+    build_piston_door,
     build_sized_construct,
     build_wire_line,
     standard_construct,
 )
-from repro.constructs.simulator import ConstructSimulator, SimulationTrace
+from repro.constructs.simulator import (
+    ConstructSimulator,
+    ReferenceConstructSimulator,
+    SimulationTrace,
+)
 from repro.constructs.state import ConstructState, state_hash
 
 __all__ = [
@@ -31,12 +38,17 @@ __all__ = [
     "component_from_block",
     "Cell",
     "SimulatedConstruct",
+    "CompiledCircuit",
+    "compile_circuit",
     "ConstructSimulator",
+    "ReferenceConstructSimulator",
     "SimulationTrace",
     "ConstructState",
     "state_hash",
+    "build_adder",
     "build_clock",
     "build_oscillator",
+    "build_piston_door",
     "build_wire_line",
     "build_lamp_grid",
     "build_counter_farm",

@@ -1,0 +1,243 @@
+"""Compiled construct circuits: the simulator's index-based hot path.
+
+``ConstructSimulator.step`` originally rebuilt two ``BlockPos``-keyed dicts
+per step (neighbour outputs and new states) and dispatched every cell through
+the :func:`~repro.constructs.components.output_power` /
+:func:`~repro.constructs.components.next_state` functions, paying enum
+comparisons, dict hashing of frozen dataclasses and ``properties.get`` calls
+on every cell of every step.  At cluster scale (hundreds of constructs over
+thousands of ticks) that made the simulator itself the wall-clock bottleneck.
+
+A :class:`CompiledCircuit` flattens a construct once into parallel,
+index-aligned lists — integer component codes, precomputed per-cell
+parameters (clock period, repeater delay/mask) and neighbour *index* tuples —
+so stepping becomes tight integer loops over small lists.  The compiled form
+is cached on the construct (the cell set of a :class:`SimulatedConstruct`
+never changes after construction) and shared by every consumer: the local
+backend, Servo's speculative fallback and the offload function.  Per-cell
+parameters are refreshed whenever the construct's modification counter moves,
+so sanctioned player edits are always honoured; cell *states* are read from
+and written back to the live ``Cell`` objects on every step, which keeps the
+construct the single source of truth for everyone else (snapshots,
+equivalence grouping, offload payloads).
+
+The compiled step is semantically bit-identical to the reference simulator:
+every arithmetic branch below mirrors ``components.py`` exactly, and the
+equivalence test suite asserts identical :class:`ConstructState` sequences
+across the construct library.
+
+As a byproduct of writing states back, :meth:`CompiledCircuit.step` reports
+whether the step was a *fixed point* (no cell changed state).  Because a
+step is a pure function of the state vector, a fixed point persists until a
+player edit — which is what lets backends skip re-simulating quiescent
+circuits entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.constructs.components import MAX_POWER, ComponentType
+
+# Integer component codes (list indices beat enum identity checks in the hot
+# loop).  The numeric values are internal to this module.
+_POWER_SOURCE = 0
+_LEVER = 1
+_WIRE = 2
+_LAMP = 3
+_TORCH = 4
+_REPEATER = 5
+_PISTON = 6
+_HOPPER = 7
+_COMPARATOR = 8
+_CLOCK = 9
+
+_CODE_BY_COMPONENT = {
+    ComponentType.POWER_SOURCE: _POWER_SOURCE,
+    ComponentType.LEVER: _LEVER,
+    ComponentType.WIRE: _WIRE,
+    ComponentType.LAMP: _LAMP,
+    ComponentType.TORCH: _TORCH,
+    ComponentType.REPEATER: _REPEATER,
+    ComponentType.PISTON: _PISTON,
+    ComponentType.HOPPER: _HOPPER,
+    ComponentType.COMPARATOR: _COMPARATOR,
+    ComponentType.CLOCK: _CLOCK,
+}
+
+#: attribute under which the compiled form is cached on the construct
+_CACHE_ATTRIBUTE = "_compiled_circuit"
+
+
+class CompiledCircuit:
+    """An index-based, steppable view of one :class:`SimulatedConstruct`."""
+
+    __slots__ = (
+        "construct",
+        "_cells",
+        "_codes",
+        "_params",
+        "_masks",
+        "_neighbours",
+        "_digest_prefixes",
+        "_params_modification",
+    )
+
+    def __init__(self, construct) -> None:
+        self.construct = construct
+        cells = construct.cells  # sorted by position, fixed for the lifetime
+        self._cells = cells
+        self._codes = [_CODE_BY_COMPONENT[cell.component] for cell in cells]
+        index_of = {cell.position: index for index, cell in enumerate(cells)}
+        adjacency = construct.adjacency()
+        self._neighbours = [
+            tuple(index_of[pos] for pos in adjacency[cell.position]) for cell in cells
+        ]
+        # Byte prefixes for the content digest, identical to state_hash():
+        # "x,y,z=" per cell in sorted-position order.
+        self._digest_prefixes = [
+            f"{cell.position.x},{cell.position.y},{cell.position.z}=".encode("ascii")
+            for cell in cells
+        ]
+        self._params: list[int] = []
+        self._masks: list[int] = []
+        self._refresh_params()
+
+    def _refresh_params(self) -> None:
+        """Precompute per-cell parameters from the cells' property dicts.
+
+        Mirrors the defaulting/clamping in ``components.py``.  Re-run whenever
+        the construct's modification counter moves, so player edits that touch
+        properties are picked up.
+        """
+        params = []
+        masks = []
+        for code, cell in zip(self._codes, self._cells):
+            if code == _CLOCK:
+                params.append(max(2, int(cell.properties.get("period", 8))))
+                masks.append(0)
+            elif code == _REPEATER:
+                delay = max(1, int(cell.properties.get("delay", 1)))
+                params.append(delay)
+                masks.append((1 << delay) - 1)
+            else:
+                params.append(0)
+                masks.append(0)
+        self._params = params
+        self._masks = masks
+        self._params_modification = self.construct.modification_counter
+
+    @property
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    def step(self) -> bool:
+        """Advance the construct one step; return True on a fixed point.
+
+        States are read from and written back to the live cells, and the
+        construct's step counter advances — exactly like the reference
+        simulator, minus the per-step dict rebuilding.
+        """
+        construct = self.construct
+        if construct.modification_counter != self._params_modification:
+            self._refresh_params()
+        cells = self._cells
+        codes = self._codes
+        params = self._params
+        count = len(cells)
+
+        states = [cell.state for cell in cells]
+        outputs = [0] * count
+        for index in range(count):
+            code = codes[index]
+            state = states[index]
+            if code == _WIRE or code == _COMPARATOR:
+                outputs[index] = (
+                    MAX_POWER if state > MAX_POWER else (state if state > 0 else 0)
+                )
+            elif code == _LAMP or code == _PISTON or code == _HOPPER:
+                pass  # consumers emit nothing
+            elif code == _TORCH or code == _LEVER:
+                outputs[index] = MAX_POWER if state > 0 else 0
+            elif code == _REPEATER:
+                outputs[index] = MAX_POWER if (state & 1) else 0
+            elif code == _CLOCK:
+                period = params[index]
+                outputs[index] = (
+                    MAX_POWER if (state % period) < period // 2 else 0
+                )
+            else:  # _POWER_SOURCE
+                outputs[index] = MAX_POWER
+
+        fixed_point = True
+        neighbours = self._neighbours
+        masks = self._masks
+        for index in range(count):
+            input_power = 0
+            for neighbour in neighbours[index]:
+                power = outputs[neighbour]
+                if power > input_power:
+                    input_power = power
+            code = codes[index]
+            state = states[index]
+            if code == _WIRE:
+                new_state = input_power - 1 if input_power > 1 else 0
+            elif code == _LAMP:
+                new_state = 1 if input_power > 0 else 0
+            elif code == _TORCH:
+                new_state = MAX_POWER if input_power == 0 else 0
+            elif code == _CLOCK:
+                new_state = (state + 1) % params[index]
+            elif code == _HOPPER:
+                new_state = (state + 1) % 65536 if input_power > 0 else state
+            elif code == _REPEATER:
+                bit = 1 if input_power > 0 else 0
+                new_state = ((state >> 1) | (bit << (params[index] - 1))) & masks[index]
+            elif code == _COMPARATOR:
+                new_state = input_power
+            elif code == _PISTON:
+                new_state = 1 if input_power > 0 else 0
+            elif code == _LEVER:
+                new_state = state
+            else:  # _POWER_SOURCE
+                new_state = MAX_POWER
+            if new_state != state:
+                fixed_point = False
+                cells[index].state = new_state
+
+        construct.step += 1
+        return fixed_point
+
+    def run(self, steps: int) -> bool:
+        """Advance ``steps`` steps; return True if the last step was a fixed point."""
+        fixed_point = False
+        for _ in range(int(steps)):
+            fixed_point = self.step()
+        return fixed_point
+
+    def digest(self) -> str:
+        """The construct's current content hash.
+
+        Identical to ``state_hash(construct.snapshot().states)`` but computed
+        straight from the (already position-sorted) cells, without building
+        and re-sorting a snapshot dict.
+        """
+        hasher = hashlib.sha256()
+        for prefix, cell in zip(self._digest_prefixes, self._cells):
+            hasher.update(prefix)
+            hasher.update(f"{int(cell.state)};".encode("ascii"))
+        return hasher.hexdigest()
+
+
+def compile_circuit(construct) -> CompiledCircuit:
+    """The construct's compiled form, built once and cached on the construct.
+
+    Safe to call from any consumer (local backend, speculative fallback,
+    offload function): they all share the same compiled representation, and
+    the cell set of a construct never changes after construction.
+    """
+    compiled = getattr(construct, _CACHE_ATTRIBUTE, None)
+    if compiled is None:
+        compiled = CompiledCircuit(construct)
+        setattr(construct, _CACHE_ATTRIBUTE, compiled)
+    return compiled

@@ -63,6 +63,52 @@ def build_lamp_grid(width: int, depth: int, origin: BlockPos = BlockPos(0, 64, 0
     return SimulatedConstruct(cells, name=f"lamp-grid-{width}x{depth}")
 
 
+def build_piston_door(origin: BlockPos = BlockPos(0, 64, 0), wire_run: int = 3) -> SimulatedConstruct:
+    """A lever-operated piston door: lever -> wire run -> two pistons + lamp.
+
+    With the lever off the circuit settles to a fixed point (a quiescent
+    construct); toggling the lever wakes it, the signal runs down the wires
+    and the pistons extend.
+    """
+    if wire_run < 1:
+        raise ValueError("the door needs at least one wire between lever and pistons")
+    cells = [Cell(origin, ComponentType.LEVER)]
+    for i in range(1, wire_run + 1):
+        cells.append(Cell(origin.offset(dx=i), ComponentType.WIRE))
+    cells.append(Cell(origin.offset(dx=wire_run + 1), ComponentType.PISTON))
+    cells.append(Cell(origin.offset(dx=wire_run, dz=1), ComponentType.PISTON))
+    cells.append(Cell(origin.offset(dx=wire_run + 1, dz=1), ComponentType.LAMP))
+    return SimulatedConstruct(cells, name="piston-door")
+
+
+def build_adder(origin: BlockPos = BlockPos(0, 64, 0)) -> SimulatedConstruct:
+    """A two-lever arithmetic circuit mixing comparators, repeaters and a torch.
+
+    Two lever inputs feed wire runs into a comparator stage; a repeater
+    (delay 2) echoes one input late and a torch inverts the other, driving
+    separate sum/carry lamps.  It is not a textbook binary adder — signal
+    combination here is strongest-neighbour — but it exercises every
+    "logic" component (lever, comparator, repeater, torch) in one circuit,
+    settles to a fixed point for constant inputs, and reacts to lever edits.
+    """
+    cells = [
+        # input A: lever -> wires -> comparator -> sum lamp
+        Cell(origin, ComponentType.LEVER),
+        Cell(origin.offset(dx=1), ComponentType.WIRE),
+        Cell(origin.offset(dx=2), ComponentType.COMPARATOR),
+        Cell(origin.offset(dx=3), ComponentType.LAMP),
+        # input B: lever -> wire -> repeater (delay 2) -> carry lamp
+        Cell(origin.offset(dz=2), ComponentType.LEVER),
+        Cell(origin.offset(dx=1, dz=2), ComponentType.WIRE),
+        Cell(origin.offset(dx=2, dz=2), ComponentType.REPEATER, properties={"delay": 2}),
+        Cell(origin.offset(dx=3, dz=2), ComponentType.LAMP),
+        # crossover: the comparator also feeds a torch that inverts into a wire
+        Cell(origin.offset(dx=2, dz=1), ComponentType.TORCH),
+        Cell(origin.offset(dx=1, dz=1), ComponentType.WIRE),
+    ]
+    return SimulatedConstruct(cells, name="adder")
+
+
 def build_counter_farm(hoppers: int = 4, origin: BlockPos = BlockPos(0, 64, 0)) -> SimulatedConstruct:
     """A clock driving ``hoppers`` hoppers: a resource farm whose state never loops.
 

@@ -5,6 +5,17 @@ is computed from the *previous* step's outputs of its neighbours, which makes
 the update order-independent and deterministic.  The same simulator code runs
 on the game server (baseline / fallback path) and inside the offload function
 (Servo's speculative path), so both produce identical state sequences.
+
+Two implementations exist:
+
+* :class:`ConstructSimulator` — the production simulator.  It steps through
+  the construct's cached :class:`~repro.constructs.compiled.CompiledCircuit`
+  (index-based arrays, integer component codes), which is the wall-clock hot
+  path at cluster scale.
+* :class:`ReferenceConstructSimulator` — the original, dict-based
+  formulation that dispatches every cell through ``components.py``.  It is
+  the executable specification: the equivalence test suite asserts the
+  compiled path produces bit-identical state sequences.
 """
 
 from __future__ import annotations
@@ -12,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.constructs.circuit import SimulatedConstruct
+from repro.constructs.compiled import compile_circuit
 from repro.constructs.components import next_state, output_power
 from repro.constructs.state import ConstructState
 
@@ -37,10 +49,44 @@ class SimulationTrace:
 
 
 class ConstructSimulator:
-    """Steps simulated constructs forward in time."""
+    """Steps simulated constructs forward in time (compiled hot path)."""
 
     def step(self, construct: SimulatedConstruct) -> ConstructState:
         """Advance the construct by one step, mutating it, and return the snapshot."""
+        compile_circuit(construct).step()
+        return construct.snapshot()
+
+    def run(self, construct: SimulatedConstruct, steps: int) -> SimulationTrace:
+        """Advance the construct ``steps`` times, collecting every snapshot."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        trace = SimulationTrace(construct_id=construct.construct_id, start_step=construct.step)
+        compiled = compile_circuit(construct)
+        for _ in range(int(steps)):
+            compiled.step()
+            trace.states.append(construct.snapshot())
+            trace.cell_updates += construct.block_count
+        return trace
+
+    def simulate_detached(self, construct: SimulatedConstruct, steps: int) -> SimulationTrace:
+        """Simulate ``steps`` ahead on a copy, leaving the construct untouched.
+
+        This is what the offload function does: it receives the construct's
+        current state, works ahead speculatively and returns the state
+        sequence without mutating the server-side construct.
+        """
+        clone = clone_construct(construct)
+        return self.run(clone, steps)
+
+
+class ReferenceConstructSimulator(ConstructSimulator):
+    """The dict-based reference formulation (executable specification).
+
+    Kept verbatim from the original implementation; the compiled simulator
+    must match it bit for bit on every construct and step.
+    """
+
+    def step(self, construct: SimulatedConstruct) -> ConstructState:
         cells = construct.cells
         adjacency = construct.adjacency()
         outputs = {
@@ -64,7 +110,6 @@ class ConstructSimulator:
         return construct.snapshot()
 
     def run(self, construct: SimulatedConstruct, steps: int) -> SimulationTrace:
-        """Advance the construct ``steps`` times, collecting every snapshot."""
         if steps < 0:
             raise ValueError("steps must be non-negative")
         trace = SimulationTrace(construct_id=construct.construct_id, start_step=construct.step)
@@ -72,16 +117,6 @@ class ConstructSimulator:
             trace.states.append(self.step(construct))
             trace.cell_updates += construct.block_count
         return trace
-
-    def simulate_detached(self, construct: SimulatedConstruct, steps: int) -> SimulationTrace:
-        """Simulate ``steps`` ahead on a copy, leaving the construct untouched.
-
-        This is what the offload function does: it receives the construct's
-        current state, works ahead speculatively and returns the state
-        sequence without mutating the server-side construct.
-        """
-        clone = clone_construct(construct)
-        return self.run(clone, steps)
 
 
 def clone_construct(construct: SimulatedConstruct) -> SimulatedConstruct:

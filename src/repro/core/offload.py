@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.constructs.circuit import Cell, SimulatedConstruct
+from repro.constructs.compiled import compile_circuit
 from repro.constructs.components import ComponentType
-from repro.constructs.simulator import ConstructSimulator
 from repro.constructs.state import state_hash
 from repro.core.loop_detection import CompressedStateSequence, compress_trace
 from repro.faas.function import FunctionOutput
@@ -231,8 +231,12 @@ def make_simulation_handler(cache_capacity: int = 512):
     anchor-relative coordinates and identical requests are memoised — their
     replies are identical up to translation — which keeps large experiments
     fast without changing behaviour.
+
+    Simulation steps through the construct's compiled circuit; the loop
+    detector hashes the compiled state arrays directly (the digest is
+    identical to hashing the snapshot), so a cache miss only builds one
+    snapshot dict per simulated step.
     """
-    simulator = ConstructSimulator()
     cache = _HandlerCache(capacity=cache_capacity)
 
     def handler(payload: OffloadRequest) -> FunctionOutput:
@@ -243,15 +247,17 @@ def make_simulation_handler(cache_capacity: int = 512):
         cached = cache.get(key)
         if cached is None:
             construct = _build_canonical_construct(payload)
+            compiled = compile_circuit(construct)
             states = []
             relative_sequence = None
             seen: dict[str, int] = {}
             steps_executed = 0
             for index in range(payload.steps):
-                state = simulator.step(construct)
+                compiled.step()
+                state = construct.snapshot()
                 steps_executed += 1
                 if payload.detect_loops:
-                    digest = state.digest()
+                    digest = compiled.digest()
                     repeat_of = seen.get(digest)
                     if repeat_of is not None:
                         relative_sequence = CompressedStateSequence(

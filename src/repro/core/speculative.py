@@ -28,7 +28,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.constructs.circuit import SimulatedConstruct
-from repro.constructs.simulator import ConstructSimulator, clone_construct
+from repro.constructs.compiled import compile_circuit
+from repro.constructs.simulator import clone_construct
 from repro.core.config import ServoConfig
 from repro.core.loop_detection import CompressedStateSequence
 from repro.core.offload import SC_SIMULATION_FUNCTION, OffloadReply, OffloadRequest
@@ -138,13 +139,19 @@ class SpeculativeConstructBackend(ConstructBackend):
         self.function_name = function_name
         self._constructs: dict[int, SimulatedConstruct] = {}
         self._records: dict[int, SpeculationRecord] = {}
-        self._simulator = ConstructSimulator()
+        #: construct ids pinned at a fixed point by a length-1 looping
+        #: sequence: every future merge would re-apply the same state, so the
+        #: backend only advances their step counters until a player edit
+        self._quiescent: set[int] = set()
         self.metrics = engine.metrics
 
     # -- registry -------------------------------------------------------------------
 
     def register_construct(self, construct: SimulatedConstruct) -> None:
         self._constructs[construct.construct_id] = construct
+        # Compile up front so the fallback path never pays the flattening cost
+        # inside a tick.
+        compile_circuit(construct)
         self._records[construct.construct_id] = SpeculationRecord(
             construct_id=construct.construct_id
         )
@@ -155,6 +162,7 @@ class SpeculativeConstructBackend(ConstructBackend):
     def remove_construct(self, construct_id: int) -> None:
         self._constructs.pop(construct_id, None)
         self._records.pop(construct_id, None)
+        self._quiescent.discard(construct_id)
 
     def constructs(self) -> list[SimulatedConstruct]:
         return [self._constructs[key] for key in sorted(self._constructs)]
@@ -166,8 +174,10 @@ class SpeculativeConstructBackend(ConstructBackend):
         construct.player_modify(position)
         record = self._records[construct_id]
         # Every stored sequence is now stale; the timestamp check would reject
-        # them anyway, but dropping them eagerly frees memory.
+        # them anyway, but dropping them eagerly frees memory.  The edit also
+        # wakes the construct if it was parked at a fixed point.
         record.available.clear()
+        self._quiescent.discard(construct_id)
         self.metrics.increment("speculation_invalidated")
 
     # -- speculation plumbing ----------------------------------------------------------
@@ -244,8 +254,20 @@ class SpeculativeConstructBackend(ConstructBackend):
         )
         now_ms = self.engine.now_ms
         tick_lead = self.config.tick_lead
+        quiescent = self._quiescent
         for construct in self.constructs():
             record = self._records[construct.construct_id]
+            if construct.construct_id in quiescent:
+                # Fixed point pinned by a length-1 loop and nothing in
+                # flight: merging would re-apply the state the construct
+                # already holds.  The simulated server still pays the merge
+                # (the report keeps counting it); the host skips the work.
+                construct.step += 1
+                record.merged_steps += 1
+                report.merged_speculative += 1
+                report.advanced += 1
+                report.skipped_quiescent += 1
+                continue
             self._promote_pending(record, construct, now_ms)
 
             target_step = construct.step + 1
@@ -255,8 +277,19 @@ class SpeculativeConstructBackend(ConstructBackend):
                 construct.apply_state_unchecked(snapshot.states, step=target_step)
                 record.merged_steps += 1
                 report.merged_speculative += 1
+                sequence = entry.sequence
+                if (
+                    record.pending is None
+                    and len(sequence.loop_states) == 1
+                    and target_step > sequence.start_step + len(sequence.prefix)
+                ):
+                    # The loop has a single state and the construct has just
+                    # been set to it: every future step is this exact state.
+                    quiescent.add(construct.construct_id)
             else:
-                self._simulator.step(construct)
+                # Compiled step without the snapshot a ConstructSimulator
+                # round-trip would build and discard.
+                compile_circuit(construct).step()
                 record.fallback_steps += 1
                 report.simulated_locally += 1
                 pending = record.pending

@@ -21,7 +21,12 @@ from repro.server.config import GameConfig
 from repro.server.costmodel import TickCostModel, TickWork
 from repro.server.entities import Avatar
 from repro.server.sc_engine import ConstructBackend
-from repro.server.session import PlayerSession, restore_avatar_state, snapshot_session
+from repro.server.session import (
+    BroadcastClock,
+    PlayerSession,
+    restore_avatar_state,
+    snapshot_session,
+)
 from repro.sim.engine import SimulationEngine
 from repro.storage.base import StorageBackend, StorageOperation
 from repro.world.block import BlockType
@@ -136,7 +141,18 @@ class GameServer(TickLoop):
         self._player_ids = player_ids if player_ids is not None else itertools.count(1)
         self._rng = engine.rng(f"server:{name}")
         self._construct_cells: dict[BlockPos, int] = {}
+        #: cell positions per construct, so removal is O(cells of that construct)
+        self._construct_positions: dict[int, list[BlockPos]] = {}
         self._construct_pins: dict[int, list[ChunkPos]] = {}
+        #: lazily rebuilt position -> construct id map covering cells and their
+        #: 6-neighbour halo (the block-edit hot path probes it once per edit)
+        self._edit_lookup: Optional[dict[BlockPos, int]] = None
+        #: insertion-ordered ids of sessions with queued messages; sessions
+        #: register themselves on their first enqueue, so the tick only
+        #: touches players that actually sent something
+        self._pending_messages: dict[int, None] = {}
+        #: advanced once per tick; sessions derive updates_sent from it
+        self._broadcast_clock = BroadcastClock()
         self._last_persist_ms = 0.0
         #: hooks called at the start of every tick (used by Servo services)
         self.pre_tick_hooks: list[Callable[[int], None]] = []
@@ -186,6 +202,8 @@ class GameServer(TickLoop):
             avatar=avatar,
             connected_at_ms=self.engine.now_ms,
         )
+        session.attach_broadcast_clock(self._broadcast_clock)
+        session.attach_pending_index(self._pending_messages)
         self.sessions[player_id] = session
         self.stats.players_connected_total += 1
         if self.storage is not None and restore:
@@ -214,6 +232,8 @@ class GameServer(TickLoop):
         if session is None:
             raise KeyError(f"no connected player with id {player_id}")
         session.disconnected = True
+        session.detach_broadcast_clock()
+        self._pending_messages.pop(player_id, None)
         operation = None
         if persist and self.storage is not None:
             operation = self.storage.write(f"player_{session.name}", snapshot_session(session))
@@ -230,20 +250,28 @@ class GameServer(TickLoop):
     def place_construct(self, construct: SimulatedConstruct) -> None:
         """Place a player-built construct into the world and register it."""
         self.constructs.register_construct(construct)
+        positions = []
         for cell in construct.cells:
             self._construct_cells[cell.position] = construct.construct_id
+            positions.append(cell.position)
             if self.world.block_loaded(cell.position):
                 self.world.set_block(cell.position, cell.block_type)
+        self._construct_positions[construct.construct_id] = positions
+        self._edit_lookup = None
         # Construct areas stay loaded so their simulation never pauses mid-experiment.
-        pins = sorted({block_to_chunk(pos) for pos in construct.positions})
+        pins = sorted({block_to_chunk(pos) for pos in positions})
         self._construct_pins[construct.construct_id] = pins
         self.chunks.protect(pins)
 
     def remove_construct(self, construct_id: int) -> None:
         self.constructs.remove_construct(construct_id)
-        for position, owner in list(self._construct_cells.items()):
-            if owner == construct_id:
-                del self._construct_cells[position]
+        cells = self._construct_cells
+        for position in self._construct_positions.pop(construct_id, []):
+            # A later overlapping construct may have claimed this position;
+            # only drop cells this construct still owns.
+            if cells.get(position) == construct_id:
+                del cells[position]
+        self._edit_lookup = None
         # Release the eviction pins place_construct took for this construct.
         self.chunks.unprotect(self._construct_pins.pop(construct_id, []))
 
@@ -298,15 +326,38 @@ class GameServer(TickLoop):
         else:  # pragma: no cover - defensive
             raise ValueError(f"unhandled message kind {kind!r}")
 
+    def _build_edit_lookup(self) -> dict[BlockPos, int]:
+        """Precompute the construct hit by an edit at any sensitive position.
+
+        Covers every construct cell (mapped to its owner) plus the cells'
+        6-neighbour halo: a halo position maps to the construct the original
+        probe order (``position.neighbours()``, first hit wins) would find.
+        Rebuilt only when a construct is placed or removed; the block-edit
+        hot path then costs one dict probe instead of up to 7.
+        """
+        cells = self._construct_cells
+        lookup: dict[BlockPos, int] = {}
+        for cell_position in cells:
+            for halo in cell_position.neighbours():
+                if halo in cells or halo in lookup:
+                    continue
+                for probe in halo.neighbours():
+                    owner = cells.get(probe)
+                    if owner is not None:
+                        lookup[halo] = owner
+                        break
+        lookup.update(cells)
+        return lookup
+
     def _notify_construct_edit(self, position: BlockPos) -> None:
-        """Tell the construct backend that a player touched a construct (or nearby)."""
-        construct_id = self._construct_cells.get(position)
-        if construct_id is None:
-            # Edits adjacent to a construct also invalidate its speculation.
-            for neighbour in position.neighbours():
-                construct_id = self._construct_cells.get(neighbour)
-                if construct_id is not None:
-                    break
+        """Tell the construct backend that a player touched a construct (or nearby).
+
+        Edits adjacent to a construct also invalidate its speculation.
+        """
+        lookup = self._edit_lookup
+        if lookup is None:
+            lookup = self._edit_lookup = self._build_edit_lookup()
+        construct_id = lookup.get(position)
         if construct_id is not None:
             self.constructs.on_player_modify(construct_id, position)
 
@@ -325,12 +376,20 @@ class GameServer(TickLoop):
         for hook in self.pre_tick_hooks:
             hook(self.tick_index)
 
-        # 1. Process queued client messages.
-        for session in self.sessions.values():
-            for message in session.drain():
-                self._process_message(session, message)
-                work.actions += 1
-                self.stats.messages_processed += 1
+        # 1. Process queued client messages.  Only sessions in the pending
+        # index are drained (idle players cost one membership probe), and the
+        # whole section is skipped when nothing arrived.  Iteration stays in
+        # sessions-dict order so cross-player processing order is exactly the
+        # pre-index behaviour.
+        pending = self._pending_messages
+        if pending:
+            for player_id, session in self.sessions.items():
+                if player_id not in pending:
+                    continue
+                for message in session.drain():
+                    self._process_message(session, message)
+                    work.actions += 1
+                    self.stats.messages_processed += 1
 
         # 2. Chunk management.
         chunk_report = self.chunks.update([session.avatar for session in self.sessions.values()])
@@ -348,8 +407,9 @@ class GameServer(TickLoop):
         work.construct_tick = construct_report.construct_tick
 
         # 4. Broadcast state updates (accounted per player by the cost model).
-        for session in self.sessions.values():
-            session.updates_sent += 1
+        # One clock advance replaces the per-session counter bump; sessions
+        # derive their updates_sent from the ticks observed while attached.
+        self._broadcast_clock.advance()
 
         # 5. Periodic persistence (off the critical path).
         if (

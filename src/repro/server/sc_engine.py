@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.constructs.circuit import SimulatedConstruct
+from repro.constructs.compiled import compile_circuit
 from repro.constructs.simulator import ConstructSimulator
 from repro.constructs.state import ConstructState
 from repro.world.coords import BlockPos
@@ -26,13 +27,23 @@ from repro.world.coords import BlockPos
 
 @dataclass
 class ConstructTickReport:
-    """What the construct backend did during one tick."""
+    """What the construct backend did during one tick.
+
+    ``simulated_locally`` / ``merged_speculative`` report the work the
+    *simulated server* performed — the cost model's inputs — so they keep
+    counting quiescent constructs whose re-simulation the host skipped.
+    ``skipped_quiescent`` separately reports how many of those advances were
+    satisfied by the fixed-point skip (a wall-clock optimisation of the
+    simulator host, invisible in virtual time).
+    """
 
     total_constructs: int = 0
     simulated_locally: int = 0
     merged_speculative: int = 0
     #: constructs that advanced one step this tick (by any path)
     advanced: int = 0
+    #: advances satisfied without re-simulation (state vector at a fixed point)
+    skipped_quiescent: int = 0
     #: True if this tick was a construct-simulation tick for the backend
     construct_tick: bool = False
 
@@ -76,15 +87,21 @@ class LocalConstructBackend(ConstructBackend):
         self._simulator = ConstructSimulator()
         self._groups: list[list[int]] = []
         self._groups_dirty = True
+        #: construct ids whose state vector reached a fixed point; they are
+        #: not re-simulated until a player edit wakes them
+        self._quiescent: set[int] = set()
 
     # -- registry -------------------------------------------------------------------
 
     def register_construct(self, construct: SimulatedConstruct) -> None:
         self._constructs[construct.construct_id] = construct
+        # Compile eagerly: registration is the cold path, ticks are the hot one.
+        compile_circuit(construct)
         self._groups_dirty = True
 
     def remove_construct(self, construct_id: int) -> None:
         self._constructs.pop(construct_id, None)
+        self._quiescent.discard(construct_id)
         self._groups_dirty = True
 
     def constructs(self) -> list[SimulatedConstruct]:
@@ -94,6 +111,7 @@ class LocalConstructBackend(ConstructBackend):
         construct = self._constructs.get(construct_id)
         if construct is not None:
             construct.player_modify(position)
+            self._quiescent.discard(construct_id)
             self._groups_dirty = True
 
     # -- simulation -----------------------------------------------------------------
@@ -125,6 +143,9 @@ class LocalConstructBackend(ConstructBackend):
             )
         self._groups = list(groups.values())
         self._groups_dirty = False
+        # Representatives may have changed; re-detect fixed points from scratch
+        # (costs one extra simulated step per group, only after a change).
+        self._quiescent.clear()
 
     def tick(self, tick_index: int) -> ConstructTickReport:
         report = ConstructTickReport(total_constructs=len(self._constructs))
@@ -136,11 +157,25 @@ class LocalConstructBackend(ConstructBackend):
         if self._groups_dirty:
             self._rebuild_groups()
 
+        constructs = self._constructs
+        quiescent = self._quiescent
         for members in self._groups:
-            representative = self._constructs[members[0]]
-            self._simulator.step(representative)
+            representative = constructs[members[0]]
+            if members[0] in quiescent:
+                # Fixed point: the states are provably what re-simulation
+                # would produce, so only the step counters advance.
+                representative.step += 1
+                for construct_id in members[1:]:
+                    constructs[construct_id].step = representative.step
+                report.skipped_quiescent += len(members)
+                continue
+            if compile_circuit(representative).step():
+                quiescent.add(members[0])
             for construct_id in members[1:]:
-                self._constructs[construct_id].copy_state_from(representative)
-        report.simulated_locally = len(self._constructs)
-        report.advanced = len(self._constructs)
+                constructs[construct_id].copy_state_from(representative)
+        # The simulated baseline server does this work for every construct;
+        # the cost model must keep seeing it (virtual time is unchanged by
+        # the host-side skip).
+        report.simulated_locally = len(constructs)
+        report.advanced = len(constructs)
         return report

@@ -12,10 +12,30 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.net.message import Message, MessageKind
 from repro.server.entities import Avatar
 from repro.world.coords import BlockPos
+
+
+class BroadcastClock:
+    """A shared count of state-update broadcast rounds (one per server tick).
+
+    Instead of bumping an ``updates_sent`` integer on every session every
+    tick (an O(players) loop on the tick's hot path), the server advances
+    this clock once per tick; each session derives its ``updates_sent`` from
+    the ticks elapsed since it attached.  Sessions detach (freezing their
+    count) when the player disconnects or migrates away.
+    """
+
+    __slots__ = ("ticks",)
+
+    def __init__(self) -> None:
+        self.ticks = 0
+
+    def advance(self) -> None:
+        self.ticks += 1
 
 
 @dataclass
@@ -27,11 +47,50 @@ class PlayerSession:
     avatar: Avatar
     connected_at_ms: float
     _inbox: list[Message] = field(default_factory=list)
-    #: state updates sent to this client (a proxy for outbound bandwidth)
-    updates_sent: int = 0
     disconnected: bool = False
     #: latency of the storage read that restored this session's state (0 if none)
     restore_latency_ms: float = 0.0
+    #: updates accounted before/outside the attached broadcast clock
+    _updates_sent_base: int = 0
+    _broadcast_clock: Optional[BroadcastClock] = None
+    _broadcast_attach_ticks: int = 0
+    #: ordered index of player ids with queued messages, shared with the server
+    _pending_index: Optional[dict[int, None]] = None
+
+    # -- outbound accounting ---------------------------------------------------------
+
+    @property
+    def updates_sent(self) -> int:
+        """State updates sent to this client (a proxy for outbound bandwidth)."""
+        if self._broadcast_clock is None:
+            return self._updates_sent_base
+        return self._updates_sent_base + (
+            self._broadcast_clock.ticks - self._broadcast_attach_ticks
+        )
+
+    @updates_sent.setter
+    def updates_sent(self, value: int) -> None:
+        if self._broadcast_clock is not None:
+            self._broadcast_attach_ticks = self._broadcast_clock.ticks
+        self._updates_sent_base = int(value)
+
+    def attach_broadcast_clock(self, clock: BroadcastClock) -> None:
+        """Start deriving ``updates_sent`` from a server's broadcast clock."""
+        self._broadcast_clock = clock
+        self._broadcast_attach_ticks = clock.ticks
+
+    def detach_broadcast_clock(self) -> None:
+        """Freeze ``updates_sent`` at its current value (disconnect/migration)."""
+        self._updates_sent_base = self.updates_sent
+        self._broadcast_clock = None
+
+    # -- inbound queue ---------------------------------------------------------------
+
+    def attach_pending_index(self, index: dict[int, None]) -> None:
+        """Register this session in a server's pending-message index."""
+        self._pending_index = index
+        if self._inbox:
+            index[self.player_id] = None
 
     def enqueue(self, message: Message) -> None:
         """Queue a client message for processing in the next tick."""
@@ -41,11 +100,15 @@ class PlayerSession:
             )
         if self.disconnected:
             raise RuntimeError(f"session {self.player_id} is disconnected")
+        if not self._inbox and self._pending_index is not None:
+            self._pending_index[self.player_id] = None
         self._inbox.append(message)
 
     def drain(self) -> list[Message]:
         """Remove and return every queued message (called once per tick)."""
         messages, self._inbox = self._inbox, []
+        if messages and self._pending_index is not None:
+            self._pending_index.pop(self.player_id, None)
         return messages
 
     @property

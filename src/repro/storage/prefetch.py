@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.world.coords import BlockPos, ChunkPos, chunks_within_blocks
+from repro.world.coords import (
+    CHUNK_SIZE,
+    BlockPos,
+    ChunkPos,
+    chunk_offsets_within_blocks,
+)
 
 
 @dataclass(frozen=True)
@@ -35,18 +40,33 @@ class DistancePrefetchPolicy:
     prefetch_margin_blocks: float = 48.0
 
     def plan(self, avatar_positions: Iterable[BlockPos]) -> PrefetchPlan:
-        """Compute required and prefetch chunk sets for the given avatar positions."""
-        required: set[ChunkPos] = set()
-        extended: set[ChunkPos] = set()
+        """Compute required and prefetch chunk sets for the given avatar positions.
+
+        The per-avatar chunk rings come from the memoised translation-
+        invariant offset table, and the unions accumulate plain integer
+        tuples; ``ChunkPos`` objects are only materialised for the (much
+        smaller, heavily overlapping) final sets.
+        """
+        view_radius = float(self.view_distance_blocks)
+        extended_radius = view_radius + float(self.prefetch_margin_blocks)
+        required_keys: set[tuple[int, int]] = set()
+        extended_keys: set[tuple[int, int]] = set()
         for position in avatar_positions:
-            required.update(chunks_within_blocks(position, self.view_distance_blocks))
-            extended.update(
-                chunks_within_blocks(
-                    position, self.view_distance_blocks + self.prefetch_margin_blocks
-                )
-            )
+            chunk_x = position.x // CHUNK_SIZE
+            chunk_z = position.z // CHUNK_SIZE
+            offset_x = position.x % CHUNK_SIZE
+            offset_z = position.z % CHUNK_SIZE
+            for dx, dz in chunk_offsets_within_blocks(offset_x, offset_z, view_radius):
+                required_keys.add((chunk_x + dx, chunk_z + dz))
+            for dx, dz in chunk_offsets_within_blocks(
+                offset_x, offset_z, extended_radius
+            ):
+                extended_keys.add((chunk_x + dx, chunk_z + dz))
         return PrefetchPlan(
-            required=frozenset(required), prefetch=frozenset(extended - required)
+            required=frozenset(ChunkPos(x, z) for x, z in required_keys),
+            prefetch=frozenset(
+                ChunkPos(x, z) for x, z in extended_keys - required_keys
+            ),
         )
 
     def eviction_candidates(

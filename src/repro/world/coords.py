@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 CHUNK_SIZE = 16
 
@@ -78,24 +79,46 @@ def chunk_origin(pos: ChunkPos) -> BlockPos:
     return BlockPos(pos.cx * CHUNK_SIZE, 0, pos.cz * CHUNK_SIZE)
 
 
+@lru_cache(maxsize=2048)
+def chunk_offsets_within_blocks(
+    offset_x: int, offset_z: int, radius_blocks: float
+) -> tuple[tuple[int, int], ...]:
+    """Chunk offsets within ``radius_blocks`` of an intra-chunk center offset.
+
+    The chunk grid is uniform, so the set of chunks within a radius of a
+    block depends only on the block's offset *inside* its own chunk
+    (``x % 16``, ``z % 16``) — not on where in the world the chunk sits.
+    This translation-invariant core is memoised: callers that sweep many
+    avatar positions (the prefetch planner runs per avatar, several times a
+    second of virtual time) reduce the O(radius²) nearest-edge scan to a
+    cache lookup plus a translation.
+    """
+    if radius_blocks < 0:
+        raise ValueError("radius_blocks must be non-negative")
+    chunk_radius = int(math.ceil(radius_blocks / CHUNK_SIZE)) + 1
+    result = []
+    for dx in range(-chunk_radius, chunk_radius + 1):
+        for dz in range(-chunk_radius, chunk_radius + 1):
+            origin_x = dx * CHUNK_SIZE
+            origin_z = dz * CHUNK_SIZE
+            # Nearest point of the chunk's footprint to the center.
+            nearest_x = min(max(offset_x, origin_x), origin_x + CHUNK_SIZE - 1)
+            nearest_z = min(max(offset_z, origin_z), origin_z + CHUNK_SIZE - 1)
+            if math.hypot(offset_x - nearest_x, offset_z - nearest_z) <= radius_blocks:
+                result.append((dx, dz))
+    return tuple(result)
+
+
 def chunks_within_blocks(center: BlockPos, radius_blocks: float) -> list[ChunkPos]:
     """All chunk positions whose nearest edge lies within ``radius_blocks`` of ``center``.
 
     Used by the chunk manager to decide which chunks must be loaded for a
     player's view distance, and by the prefetcher for its slightly larger ring.
     """
-    if radius_blocks < 0:
-        raise ValueError("radius_blocks must be non-negative")
     center_chunk = block_to_chunk(center)
-    chunk_radius = int(math.ceil(radius_blocks / CHUNK_SIZE)) + 1
-    result = []
-    for dx in range(-chunk_radius, chunk_radius + 1):
-        for dz in range(-chunk_radius, chunk_radius + 1):
-            candidate = ChunkPos(center_chunk.cx + dx, center_chunk.cz + dz)
-            origin = chunk_origin(candidate)
-            # Nearest point of the chunk's footprint to the center.
-            nearest_x = min(max(center.x, origin.x), origin.x + CHUNK_SIZE - 1)
-            nearest_z = min(max(center.z, origin.z), origin.z + CHUNK_SIZE - 1)
-            if math.hypot(center.x - nearest_x, center.z - nearest_z) <= radius_blocks:
-                result.append(candidate)
-    return result
+    offsets = chunk_offsets_within_blocks(
+        center.x % CHUNK_SIZE, center.z % CHUNK_SIZE, float(radius_blocks)
+    )
+    return [
+        ChunkPos(center_chunk.cx + dx, center_chunk.cz + dz) for dx, dz in offsets
+    ]
