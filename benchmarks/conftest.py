@@ -14,22 +14,20 @@ import os
 
 import pytest
 
-from repro.experiments.harness import ExperimentSettings
+from repro.api import ExperimentSettings, settings_for_scale
 
-_QUICK = ExperimentSettings(
-    seed=42, duration_s=8.0, player_step=50, max_players=200, repetitions=2, latency_samples=1500
-)
-_PAPER = ExperimentSettings(
-    seed=42, duration_s=60.0, player_step=10, max_players=200, repetitions=20, latency_samples=15000
-)
+#: the benchmark suite runs slightly shorter but denser "quick" sweeps than
+#: the shared quick scale (same code paths, same seed)
+_QUICK_OVERRIDES = dict(duration_s=8.0, latency_samples=1500)
 
 
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
     """Benchmark-scale experiment settings (or paper scale when requested)."""
-    if os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "paper":
-        return _PAPER
-    return _QUICK
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if scale == "paper":
+        return settings_for_scale("paper")
+    return settings_for_scale("quick").scaled(**_QUICK_OVERRIDES)
 
 
 @pytest.fixture(scope="session")

@@ -1,43 +1,52 @@
 """Quickstart: run a Servo server with a small construct workload.
 
-Builds a Servo game server (flat world, AWS provider), connects 20 emulated
-players, places 25 player-built constructs, runs 30 virtual seconds and prints
-the tick-duration statistics plus the serverless offloading summary.
+Declares the whole run as a :class:`repro.api.RunSpec` — host topology,
+workload, seed and duration — executes it through :func:`repro.api.run_spec`
+and prints the tick-duration statistics plus the serverless offloading
+summary.  The same spec as JSON lives in ``examples/specs/servo_quick.json``
+and runs via ``python -m repro run examples/specs/servo_quick.json``.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import ServoConfig, build_servo_server
-from repro.server import GameConfig
-from repro.sim import SimulationEngine
-from repro.workload import Scenario
+from repro.api import RunResult, RunSpec, run_spec
 
 
-def main() -> None:
-    engine = SimulationEngine(seed=7)
-    server = build_servo_server(
-        engine,
-        GameConfig(world_type="flat"),
-        ServoConfig(provider="aws", tick_lead=20, steps_per_invocation=100),
-    )
+def build_spec(players: int = 20, constructs: int = 25, duration_s: float = 30.0,
+               warmup_s: float | None = None, seed: int = 7) -> RunSpec:
+    spec = {
+        "host": {
+            "game": "servo",
+            "game_config": {"world_type": "flat"},
+            "servo_config": {"provider": "aws", "tick_lead": 20, "steps_per_invocation": 100},
+        },
+        "workload": {
+            "scenario": "behaviour_a",
+            "params": {"players": players, "constructs": constructs, "duration_s": duration_s},
+        },
+        "seed": seed,
+    }
+    if warmup_s is not None:
+        spec["warmup_s"] = warmup_s
+    return RunSpec.from_dict(spec)
 
-    scenario = Scenario.behaviour_a(players=20, constructs=25, duration_s=30.0)
-    result = scenario.run(server)
 
-    stats = result.tick_stats()
-    print("Tick durations (ms)")
-    print(f"  median {stats.median:6.2f}   p95 {stats.p95:6.2f}   max {stats.maximum:6.2f}")
-    print(f"  ticks over the 50 ms budget: {100 * result.fraction_over_budget():.2f} %")
-    print(f"  QoS met (paper criterion, <5% over budget): {result.meets_qos()}")
+def main(players: int = 20, constructs: int = 25, duration_s: float = 30.0,
+         warmup_s: float | None = None) -> RunResult:
+    result = run_spec(build_spec(players, constructs, duration_s, warmup_s))
 
+    print(result.format_summary())
+
+    server = result.host
     runtime = server.servo
-    efficiency = engine.metrics.histogram("speculation_efficiency")
+    efficiency = server.engine.metrics.histogram("speculation_efficiency")
     print("\nServerless offloading")
     print(f"  function invocations:      {runtime.billing.invocation_count}")
-    print(f"  construct loops detected:  {engine.metrics.counter('loops_detected'):.0f}")
+    print(f"  construct loops detected:  {result.counters.get('loops_detected', 0):.0f}")
     if len(efficiency):
         print(f"  median speculation efficiency: {efficiency.percentile(50):.2f}")
-    print(f"  estimated cost per hour:   ${runtime.cost_per_hour_usd(engine.now_ms):.3f}")
+    print(f"  estimated cost per hour:   ${runtime.cost_per_hour_usd(result.end_virtual_ms):.3f}")
+    return result
 
 
 if __name__ == "__main__":

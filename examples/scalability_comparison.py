@@ -2,21 +2,21 @@
 
 For a few construct counts, finds the maximum number of players each game
 supports (fewer than 5 % of ticks over the 50 ms budget) and prints the
-comparison table next to the paper's values.
+comparison table next to the paper's values.  Everything is imported through
+:mod:`repro.api`, the public front door.
 
 Run with:  python examples/scalability_comparison.py
 """
 
-from repro.experiments import ExperimentSettings
-from repro.experiments.fig07_scalability import PAPER_FIG07A
-from repro.experiments.max_players import find_max_players
-from repro.experiments.harness import format_table
+from repro.api import ExperimentSettings, find_max_players, format_table
 
 
-def main() -> None:
-    settings = ExperimentSettings(duration_s=10.0, player_step=50, max_players=200)
-    construct_counts = (0, 100, 200)
-    games = ("opencraft", "minecraft", "servo")
+def main(games: tuple[str, ...] = ("opencraft", "minecraft", "servo"),
+         construct_counts: tuple[int, ...] = (0, 100, 200),
+         settings: ExperimentSettings | None = None) -> list[list[str]]:
+    from repro.experiments.fig07_scalability import PAPER_FIG07A
+
+    settings = settings or ExperimentSettings(duration_s=10.0, player_step=50, max_players=200)
 
     rows = []
     for game in games:
@@ -30,6 +30,7 @@ def main() -> None:
     print(format_table(["game", "constructs", "paper max players", "measured (coarse)"], rows))
     print("\nThe search uses a coarse 50-player grid to stay fast; run the")
     print("fig07a benchmark (or lower ExperimentSettings.player_step) for finer results.")
+    return rows
 
 
 if __name__ == "__main__":

@@ -9,6 +9,10 @@ hundred ticks and shows:
 * how loop detection collapses the periodic construct to a single invocation,
 * how a player edit invalidates in-flight speculation via the logical timestamp.
 
+This example drives the backend below the :mod:`repro.api` run layer on
+purpose — it dissects one service rather than running a scenario.  (For the
+spec-driven equivalent of a full Servo run, see ``examples/quickstart.py``.)
+
 Run with:  python examples/speculative_execution_demo.py
 """
 
@@ -20,13 +24,13 @@ from repro.faas import AWS_LAMBDA, FaasPlatform, FunctionDefinition
 from repro.sim import SimulationEngine
 
 
-def run_ticks(engine, backend, count):
-    for tick in range(count):
+def run_ticks(engine, backend, count, start_tick=0):
+    for tick in range(start_tick, start_tick + count):
         backend.tick(tick)
         engine.advance_by(50.0)
 
 
-def main() -> None:
+def main(ticks: int = 400, post_edit_ticks: int = 100) -> SpeculativeConstructBackend:
     engine = SimulationEngine(seed=3)
     platform = FaasPlatform(engine, provider=AWS_LAMBDA)
     platform.register(
@@ -43,11 +47,11 @@ def main() -> None:
     backend.register_construct(farm)
     backend.register_construct(clock)
 
-    run_ticks(engine, backend, 400)
+    run_ticks(engine, backend, ticks)
 
     farm_record = backend.record_for(farm.construct_id)
     clock_record = backend.record_for(clock.construct_id)
-    print("After 400 ticks (20 virtual seconds):")
+    print(f"After {ticks} ticks ({ticks * 50 / 1000:g} virtual seconds):")
     print(f"  farm   : merged={farm_record.merged_steps:4d} fallback={farm_record.fallback_steps:3d} "
           f"invocations={farm_record.invocations_issued}")
     print(f"  clock  : merged={clock_record.merged_steps:4d} fallback={clock_record.fallback_steps:3d} "
@@ -60,9 +64,11 @@ def main() -> None:
     backend.on_player_modify(farm.construct_id, farm.positions[0])
     print("\nPlayer modified the farm: buffered speculation invalidated "
           f"(counter={farm.modification_counter}).")
-    run_ticks(engine, backend, 100)
-    print(f"  farm keeps advancing one step per tick: step={farm.step} after 500 ticks total")
+    run_ticks(engine, backend, post_edit_ticks, start_tick=ticks)
+    print(f"  farm keeps advancing one step per tick: step={farm.step} "
+          f"after {ticks + post_edit_ticks} ticks total")
     print(f"  stale replies discarded so far: {engine.metrics.counter('speculation_discarded'):.0f}")
+    return backend
 
 
 if __name__ == "__main__":

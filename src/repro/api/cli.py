@@ -1,0 +1,264 @@
+"""The ``repro`` command line interface (also ``python -m repro``).
+
+Commands:
+
+* ``repro run <spec.json>`` / ``repro run --game servo --scenario behaviour_a
+  --players 20 ...`` — execute one :class:`~repro.api.spec.RunSpec` and print
+  its tick-stats summary (``--json`` writes the full
+  :class:`~repro.api.result.RunResult`).  Flags override the spec file when
+  both are given.
+* ``repro experiments list`` — every registered experiment id.
+* ``repro experiments run <id>`` — run one experiment and print its report.
+* ``repro bench`` — quick wall-clock benchmark with a determinism check.
+* ``repro spec <file>`` — validate a spec file and print its canonical JSON
+  (``--check`` additionally asserts dict/JSON round-trips, for CI).
+* ``repro --version`` — the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional, Sequence
+
+from repro.version import __version__
+
+
+def _parse_param(raw: str) -> tuple[str, Any]:
+    """Parse a ``--param key=value`` pair; values are JSON when they parse."""
+    key, separator, value = raw.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {raw!r} (e.g. --param players=20)"
+        )
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value  # bare strings need no quoting
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative runner for the Servo (ICDCS'23) reproduction.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="run one spec (from a JSON file, flags, or both)"
+    )
+    run.add_argument("spec", nargs="?", help="path to a RunSpec JSON file")
+    run.add_argument("--game", help="registered host name (e.g. servo, servo-cluster)")
+    run.add_argument("--scenario", help="registered scenario name (e.g. behaviour_a)")
+    run.add_argument("--players", type=int, help="shorthand for --param players=N")
+    run.add_argument("--constructs", type=int, help="shorthand for --param constructs=N")
+    run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        type=_parse_param,
+        metavar="KEY=VALUE",
+        help="scenario parameter (repeatable; value parsed as JSON when possible)",
+    )
+    run.add_argument("--shards", type=int, help="shard count for cluster hosts")
+    run.add_argument("--world-type", choices=("default", "flat"), help="game world type")
+    run.add_argument("--provider", choices=("aws", "azure"), help="Servo cloud provider")
+    run.add_argument("--seed", type=int, help="simulation seed")
+    run.add_argument("--duration-s", type=float, help="measured virtual seconds")
+    run.add_argument("--warmup-s", type=float, help="warm-up virtual seconds")
+    run.add_argument("--json", metavar="PATH", help="write the full RunResult JSON here")
+    run.set_defaults(handler=_cmd_run)
+
+    experiments = commands.add_parser("experiments", help="list or run experiments")
+    experiment_commands = experiments.add_subparsers(dest="subcommand", required=True)
+    listing = experiment_commands.add_parser("list", help="list registered experiments")
+    listing.set_defaults(handler=_cmd_experiments_list)
+    exp_run = experiment_commands.add_parser("run", help="run one experiment by id")
+    exp_run.add_argument("id", help="experiment id (see `repro experiments list`)")
+    exp_run.add_argument(
+        "--scale", choices=("quick", "paper"), default="quick",
+        help="settings scale (default: quick)",
+    )
+    exp_run.add_argument("--seed", type=int, help="override the settings seed")
+    exp_run.add_argument(
+        "--duration-s", type=float, help="override the measured duration"
+    )
+    exp_run.add_argument(
+        "--repetitions", type=int, help="override the repetition count"
+    )
+    exp_run.set_defaults(handler=_cmd_experiments_run)
+
+    bench = commands.add_parser(
+        "bench", help="quick wall-clock benchmark (determinism-checked)"
+    )
+    bench.add_argument(
+        "--duration-s", type=float, default=5.0, help="virtual seconds per scenario"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=2, help="runs per scenario (>= 2)"
+    )
+    bench.add_argument("--out", metavar="PATH", help="write the JSON report here")
+    bench.set_defaults(handler=_cmd_bench)
+
+    spec = commands.add_parser(
+        "spec", help="validate a spec file and print its canonical JSON"
+    )
+    spec.add_argument("file", help="path to a RunSpec JSON file")
+    spec.add_argument(
+        "--check",
+        action="store_true",
+        help="assert dict and JSON round-trips; print OK instead of the spec",
+    )
+    spec.set_defaults(handler=_cmd_spec)
+
+    return parser
+
+
+# -- command handlers ---------------------------------------------------------------------
+
+
+def _spec_dict_from_args(args: argparse.Namespace) -> dict:
+    """Merge the spec file (if any) with the flag overrides."""
+    data: dict = {}
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    host = dict(data.get("host", {}))
+    workload = dict(data.get("workload", {}))
+    game_config = dict(host.get("game_config", {}))
+    servo_config = dict(host.get("servo_config") or {})
+    params = dict(workload.get("params", {}))
+
+    if args.game is not None:
+        host["game"] = args.game
+    if args.shards is not None:
+        host["shards"] = args.shards
+    if args.world_type is not None:
+        game_config["world_type"] = args.world_type
+    if args.provider is not None:
+        servo_config["provider"] = args.provider
+    if args.scenario is not None:
+        workload["scenario"] = args.scenario
+    if args.players is not None:
+        params["players"] = args.players
+    if args.constructs is not None:
+        params["constructs"] = args.constructs
+    for key, value in args.param:
+        params[key] = value
+    for key, value in (
+        ("seed", args.seed), ("duration_s", args.duration_s), ("warmup_s", args.warmup_s)
+    ):
+        if value is not None:
+            data[key] = value
+
+    if game_config:
+        host["game_config"] = game_config
+    if servo_config:
+        host["servo_config"] = servo_config
+    if params:
+        workload["params"] = params
+    data["host"] = host
+    data["workload"] = workload
+    if "game" not in host:
+        raise ValueError("no host game given: pass a spec file or --game")
+    if "scenario" not in workload:
+        raise ValueError("no scenario given: pass a spec file or --scenario")
+    return data
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api.run import run_spec
+    from repro.api.spec import RunSpec
+
+    spec = RunSpec.from_dict(_spec_dict_from_args(args))
+    result = run_spec(spec)
+    print(result.format_summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"full result written to {args.json}")
+    return 0
+
+
+def _cmd_experiments_list(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import format_table
+    from repro.experiments.registry import EXPERIMENTS
+
+    rows = [
+        [entry.experiment_id, entry.description]
+        for _, entry in sorted(EXPERIMENTS.items())
+    ]
+    print(format_table(["id", "description"], rows))
+    return 0
+
+
+def _cmd_experiments_run(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import settings_for_scale
+    from repro.experiments.registry import run_experiment
+
+    settings = settings_for_scale(args.scale)
+    overrides = {
+        name: value
+        for name, value in (
+            ("seed", args.seed),
+            ("duration_s", args.duration_s),
+            ("repetitions", args.repetitions),
+        )
+        if value is not None
+    }
+    if overrides:
+        settings = settings.scaled(**overrides)
+    _, report = run_experiment(args.id, settings)
+    print(report)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.api.bench import format_bench, run_bench
+
+    report = run_bench(duration_s=args.duration_s, repeats=args.repeats)
+    print(format_bench(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"JSON report written to {args.out}")
+    return 0 if report["deterministic"] else 1
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    from repro.api.spec import RunSpec
+
+    spec = RunSpec.from_file(args.file)
+    if args.check:
+        if RunSpec.from_dict(spec.to_dict()) != spec:
+            print("spec dict round-trip FAILED", file=sys.stderr)
+            return 1
+        if RunSpec.from_json(spec.to_json()) != spec:
+            print("spec JSON round-trip FAILED", file=sys.stderr)
+            return 1
+        print(f"OK: {args.file} is valid and round-trips")
+        return 0
+    print(spec.to_json())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        return 0  # e.g. `repro experiments list | head`
+    except (ValueError, TypeError, OSError) as error:
+        # TypeError covers mistyped values that pass JSON parsing but fail
+        # downstream validation (e.g. --param players=abc).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

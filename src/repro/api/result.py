@@ -1,0 +1,91 @@
+"""Typed run results.
+
+A :class:`RunResult` pairs the workload measurements
+(:class:`~repro.workload.scenarios.ScenarioResult`) with the host-side
+metrics of the run (every counter the simulation recorded, and the final
+virtual clock).  ``summary()``/``to_json()`` expose only virtual-time
+quantities, so two runs of the same spec and seed serialize identically —
+the property the determinism tests pin.  Wall-clock time is reported
+separately because it varies run to run by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim.metrics import BoxplotStats
+from repro.workload.scenarios import TICK_BUDGET_MS, ScenarioResult
+
+
+@dataclass
+class RunResult:
+    """Everything one :func:`~repro.api.run.run_spec` call produced."""
+
+    #: the spec that produced this result (already validated)
+    spec: Any
+    scenario: ScenarioResult
+    host_name: str
+    #: virtual clock at the end of the run (ms)
+    end_virtual_ms: float
+    #: every metric counter the engine recorded, by name
+    counters: dict[str, float] = field(default_factory=dict)
+    #: wall-clock seconds the run took (not part of the deterministic summary)
+    wall_seconds: float = 0.0
+    #: the live host, for post-run inspection (not serialized)
+    host: Optional[Any] = field(default=None, repr=False, compare=False)
+
+    def tick_stats(self) -> BoxplotStats:
+        return self.scenario.tick_stats()
+
+    def fraction_over_budget(self, budget_ms: float = TICK_BUDGET_MS) -> float:
+        return self.scenario.fraction_over_budget(budget_ms)
+
+    def meets_qos(self) -> bool:
+        return self.scenario.meets_qos()
+
+    def summary(self) -> dict[str, Any]:
+        """Deterministic summary: identical for identical spec + seed."""
+        stats = self.tick_stats()
+        return {
+            "scenario": self.scenario.scenario_name,
+            "host": self.host_name,
+            "players": self.scenario.players,
+            "constructs": self.scenario.constructs,
+            "duration_s": self.scenario.duration_s,
+            "ticks_measured": len(self.scenario.tick_durations_ms),
+            "end_virtual_ms": self.end_virtual_ms,
+            "tick_ms": stats.as_dict(),
+            "fraction_over_budget": self.fraction_over_budget(),
+            "meets_qos": self.meets_qos(),
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "summary": self.summary(),
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def format_summary(self) -> str:
+        """Human-readable tick-stats report (what the CLI prints)."""
+        stats = self.tick_stats()
+        lines = [
+            f"{self.scenario.scenario_name} on {self.host_name}: "
+            f"{self.scenario.players} players, {self.scenario.constructs} constructs, "
+            f"{self.scenario.duration_s:g}s measured "
+            f"({len(self.scenario.tick_durations_ms)} ticks)",
+            "tick durations (ms): "
+            f"median {stats.median:.2f}  p95 {stats.p95:.2f}  max {stats.maximum:.2f}",
+            f"ticks over the {TICK_BUDGET_MS:.0f} ms budget: "
+            f"{100 * self.fraction_over_budget():.2f} %  "
+            f"(QoS {'met' if self.meets_qos() else 'NOT met'})",
+            f"virtual end time: {self.end_virtual_ms:.0f} ms"
+            f"   wall time: {self.wall_seconds:.2f} s",
+        ]
+        return "\n".join(lines)

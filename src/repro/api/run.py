@@ -1,0 +1,67 @@
+"""Execute a :class:`~repro.api.spec.RunSpec`: the one way runs happen.
+
+``run_spec`` resolves the spec's names against the host and scenario
+registries, builds a fresh :class:`~repro.sim.SimulationEngine` from the
+spec's seed, runs the scenario against the host and wraps the measurements
+in a :class:`~repro.api.result.RunResult`.  Everything the examples, the CLI
+and the tests run goes through here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Union
+
+from repro.api.hosts import build_host
+from repro.api.result import RunResult
+from repro.api.scenarios import build_scenario
+from repro.api.spec import RunSpec
+from repro.sim.engine import SimulationEngine
+
+
+def run_spec(spec: Union[RunSpec, dict, str, os.PathLike]) -> RunResult:
+    """Run one spec end to end and return its :class:`RunResult`.
+
+    Accepts a :class:`RunSpec`, a plain dict (``RunSpec.from_dict`` is
+    applied) or a path to a spec JSON file (``str`` or ``os.PathLike``).
+    """
+    if isinstance(spec, (str, os.PathLike)):
+        spec = RunSpec.from_file(spec)
+    elif isinstance(spec, dict):
+        spec = RunSpec.from_dict(spec)
+
+    engine = SimulationEngine(seed=spec.seed)
+    host = build_host(
+        spec.host.game,
+        engine,
+        spec.host.build_game_config(),
+        servo_config=spec.host.build_servo_config(),
+        shards=spec.host.shards,
+    )
+    scenario = build_scenario(spec.workload.scenario, **spec.workload.params)
+    overrides = {}
+    if spec.duration_s is not None:
+        overrides["duration_s"] = spec.duration_s
+    if spec.warmup_s is not None:
+        overrides["warmup_s"] = spec.warmup_s
+    if overrides:
+        scenario = dataclasses.replace(scenario, **overrides)
+
+    started = time.perf_counter()
+    scenario_result = scenario.run(host)
+    wall_seconds = time.perf_counter() - started
+
+    counters = {
+        name: engine.metrics.counter(name) for name in engine.metrics.counter_names
+    }
+    return RunResult(
+        spec=spec,
+        scenario=scenario_result,
+        host_name=host.name,
+        end_virtual_ms=engine.now_ms,
+        counters=counters,
+        wall_seconds=wall_seconds,
+        host=host,
+    )

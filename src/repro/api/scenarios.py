@@ -1,0 +1,72 @@
+"""The scenario registry: named workload families, instantiated from params.
+
+A registered scenario is a factory that returns a
+:class:`~repro.workload.scenarios.Scenario` from keyword parameters::
+
+    @register_scenario("behaviour_a")
+    def behaviour_a(players, constructs=0, duration_s=30.0):
+        ...
+
+:func:`build_scenario` instantiates one by name, validating the parameters
+against the factory's signature so an unknown or missing parameter is a
+``ValueError`` naming the accepted parameters instead of a bare ``TypeError``
+deep in a call stack.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable
+
+from repro.api.registry import Registry
+
+def _load_builtin_scenarios() -> None:
+    """Import the module whose decorators register the paper's workloads."""
+    import repro.workload.scenarios  # noqa: F401
+
+
+SCENARIOS = Registry("scenario", loader=_load_builtin_scenarios)
+
+
+def register_scenario(name: str, *, replace: bool = False):
+    """Decorator registering a scenario factory under ``name``."""
+
+    def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+        SCENARIOS.register(name, factory, replace=replace)
+        return factory
+
+    return decorator
+
+
+def scenario_factory(name: str) -> Callable[..., Any]:
+    """Look up a registered scenario factory (importing the built-ins first)."""
+    return SCENARIOS.get(name)
+
+
+def scenario_names() -> list[str]:
+    return SCENARIOS.names()
+
+
+def scenario_parameters(name: str) -> list[str]:
+    """The keyword parameters a registered scenario accepts."""
+    return list(inspect.signature(scenario_factory(name)).parameters)
+
+
+def build_scenario(name: str, /, **params):
+    """Instantiate a registered scenario from keyword parameters.
+
+    Parameters are bound against the factory signature first, so both unknown
+    and missing parameters fail with a ``ValueError`` that lists what the
+    scenario accepts.  ``name`` is positional-only, so a scenario may itself
+    take a ``name`` parameter (the ``custom`` scenario does).
+    """
+    factory = scenario_factory(name)
+    signature = inspect.signature(factory)
+    try:
+        bound = signature.bind(**params)
+    except TypeError as error:
+        raise ValueError(
+            f"invalid params for scenario {name!r}: {error}; "
+            f"accepted params: {list(signature.parameters)}"
+        ) from None
+    return factory(*bound.args, **bound.kwargs)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 
+from repro.api.hosts import register_host
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.partition import WorldPartitioner
 from repro.core.config import ServoConfig
@@ -33,6 +34,7 @@ from repro.storage.local import LocalDiskStorage
 DEFAULT_ZONE_WIDTH_CHUNKS = 16
 
 
+@register_host("servo-cluster", cluster=True)
 def build_servo_cluster(
     engine: SimulationEngine,
     game_config: GameConfig | None = None,
@@ -70,6 +72,7 @@ def build_servo_cluster(
     )
 
 
+@register_host("opencraft-cluster", cluster=True)
 def build_opencraft_cluster(
     engine: SimulationEngine,
     game_config: GameConfig | None = None,

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro.api.hosts import register_host
 from repro.core.config import ServoConfig
 from repro.core.offload import SC_SIMULATION_FUNCTION, make_simulation_handler
 from repro.core.speculative import SpeculativeConstructBackend
@@ -94,6 +95,7 @@ def make_servo_blob(engine: SimulationEngine, servo_config: ServoConfig) -> Blob
     return BlobStorage(rng=engine.rng("servo-blob"), profile=blob_profile)
 
 
+@register_host("servo")
 def build_servo_server(
     engine: SimulationEngine,
     game_config: GameConfig | None = None,

@@ -16,7 +16,10 @@ from repro.experiments.harness import (
     CLUSTER_GAMES,
     ExperimentSettings,
     GAME_FACTORIES,
+    PAPER_SETTINGS,
+    QUICK_SETTINGS,
     build_game_server,
+    settings_for_scale,
 )
 from repro.experiments.max_players import MaxPlayersResult, find_max_players
 from repro.experiments.registry import EXPERIMENTS, run_experiment
@@ -25,6 +28,9 @@ __all__ = [
     "ExperimentSettings",
     "GAME_FACTORIES",
     "CLUSTER_GAMES",
+    "QUICK_SETTINGS",
+    "PAPER_SETTINGS",
+    "settings_for_scale",
     "build_game_server",
     "find_max_players",
     "MaxPlayersResult",

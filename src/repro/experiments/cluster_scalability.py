@@ -21,7 +21,7 @@ from repro.experiments.max_players import search_last_supported
 from repro.server import GameConfig
 from repro.sim import SimulationEngine
 from repro.sim.metrics import percentile
-from repro.workload import Scenario
+from repro.workload import behaviour_a
 from repro.workload.scenarios import TICK_BUDGET_MS
 
 
@@ -101,7 +101,7 @@ def measure_cluster(
     cluster = build_game_server(
         game, engine, GameConfig(world_type="flat"), servo_config=servo_config, shards=shards
     )
-    scenario = Scenario.behaviour_a(
+    scenario = behaviour_a(
         players=players, constructs=constructs, duration_s=settings.duration_s
     )
     scenario.warmup_s = settings.warmup_s

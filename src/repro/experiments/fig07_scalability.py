@@ -14,7 +14,7 @@ from repro.experiments.max_players import find_max_players
 from repro.server import GameConfig
 from repro.sim import SimulationEngine
 from repro.sim.metrics import BoxplotStats
-from repro.workload import Scenario
+from repro.workload import behaviour_a
 
 GAMES = ("opencraft", "minecraft", "servo")
 CONSTRUCT_COUNTS = (0, 50, 100, 200)
@@ -91,7 +91,7 @@ def run_fig07b(
         for players in player_counts:
             engine = SimulationEngine(seed=settings.seed)
             server = build_game_server(game, engine, GameConfig(world_type="flat"))
-            scenario = Scenario.behaviour_a(
+            scenario = behaviour_a(
                 players=players, constructs=constructs, duration_s=settings.duration_s
             )
             run = scenario.run(server)

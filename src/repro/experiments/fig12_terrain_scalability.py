@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.experiments.harness import ExperimentSettings, build_game_server, format_table
 from repro.server import GameConfig
 from repro.sim import SimulationEngine
-from repro.workload import Scenario
+from repro.workload import random_walk, star
 from repro.workload.scenarios import TICK_BUDGET_MS
 
 GAMES = ("opencraft", "servo")
@@ -88,7 +88,7 @@ def _run_star(game: str, speed: float, settings: ExperimentSettings,
               players: int, join_interval_s: float, duration_s: float) -> TerrainScalabilityRun:
     engine = SimulationEngine(seed=settings.seed)
     server = build_game_server(game, engine, GameConfig(world_type="default"))
-    scenario = Scenario.star(
+    scenario = star(
         players=players, speed=speed, duration_s=duration_s, join_interval_s=join_interval_s
     )
     scenario.warmup_s = 0.0
@@ -164,7 +164,7 @@ def run_fig12b(
         for repetition in range(settings.repetitions):
             engine = SimulationEngine(seed=settings.seed + repetition * 101)
             server = build_game_server(game, engine, GameConfig(world_type="default"))
-            scenario = Scenario.random(players=players, duration_s=duration_s)
+            scenario = random_walk(players=players, duration_s=duration_s)
             scenario.join_interval_s = join_interval_s
             scenario.warmup_s = 0.0
             scenario.run(server)

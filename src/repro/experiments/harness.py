@@ -9,28 +9,24 @@ logic.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable
 
-from repro.cluster import build_opencraft_cluster, build_servo_cluster
-from repro.core import ServoConfig, build_servo_server
-from repro.server import GameConfig, make_minecraft, make_opencraft
+from repro.api.hosts import ClusterGameView, GameFactoryView, build_host
+from repro.api.registry import unknown_name_error
+from repro.core import ServoConfig
+from repro.server import GameConfig
 from repro.sim import SimulationEngine
 from repro.workload import GameHost
 
-#: game name -> default-config factory(engine, game_config) -> GameHost.
-#: Each factory builds its variant with default knobs (clusters: 2 shards);
-#: ``build_game_server`` layers the ``servo_config`` / ``shards`` arguments
-#: on top for the names that accept them.
-GAME_FACTORIES: dict[str, Callable[[SimulationEngine, GameConfig], GameHost]] = {
-    "opencraft": make_opencraft,
-    "minecraft": make_minecraft,
-    "servo": lambda engine, config: build_servo_server(engine, config),
-    "opencraft-cluster": lambda engine, config: build_opencraft_cluster(engine, config),
-    "servo-cluster": lambda engine, config: build_servo_cluster(engine, config),
-}
+#: game name -> factory(engine, game_config, *, servo_config=None, shards=None).
+#: A live, read-only view of the :data:`repro.api.hosts.HOSTS` registry —
+#: every factory accepts the keyword knobs its variant supports, and variants
+#: registered with ``@register_host`` (including third-party ones) appear here
+#: automatically.  Kept under its historical name for backward compatibility.
+GAME_FACTORIES = GameFactoryView()
 
 #: the game names that build a multi-shard cluster rather than one server
-CLUSTER_GAMES = frozenset({"opencraft-cluster", "servo-cluster"})
+#: (a live view, like GAME_FACTORIES)
+CLUSTER_GAMES = ClusterGameView()
 
 
 @dataclass(frozen=True)
@@ -67,32 +63,40 @@ PAPER_SETTINGS = ExperimentSettings(
     duration_s=60.0, player_step=10, max_players=200, repetitions=20, latency_samples=15000
 )
 
+#: named settings scales shared by the benchmarks' conftest and the CLI
+SETTINGS_SCALES: dict[str, ExperimentSettings] = {
+    "quick": QUICK_SETTINGS,
+    "paper": PAPER_SETTINGS,
+}
+
+
+def settings_for_scale(scale: str = "quick") -> ExperimentSettings:
+    """The named :class:`ExperimentSettings` scale ("quick" or "paper")."""
+    if scale not in SETTINGS_SCALES:
+        raise unknown_name_error("settings scale", scale, list(SETTINGS_SCALES))
+    return SETTINGS_SCALES[scale]
+
 
 def build_game_server(
     game: str,
     engine: SimulationEngine,
     game_config: GameConfig | None = None,
     servo_config: ServoConfig | None = None,
-    shards: int = 2,
+    shards: int | None = None,
 ) -> GameHost:
-    """Build a game host by name.
+    """Build a game host by name, via the :mod:`repro.api.hosts` registry.
 
     Single-server names ("opencraft", "minecraft", "servo") return a
     :class:`~repro.server.GameServer`; cluster names ("opencraft-cluster",
     "servo-cluster") return a :class:`~repro.cluster.ClusterCoordinator` with
     ``shards`` zone shards.  Both satisfy the
-    :class:`~repro.workload.GameHost` surface the experiments drive.
+    :class:`~repro.workload.GameHost` surface the experiments drive.  The
+    ``servo_config`` and ``shards`` knobs are forwarded only when given;
+    giving one to a variant that does not accept it is a ``ValueError``.
     """
-    if game not in GAME_FACTORIES:
-        raise ValueError(f"unknown game {game!r}; expected one of {sorted(GAME_FACTORIES)}")
-    config = game_config or GameConfig()
-    if game == "servo":
-        return build_servo_server(engine, config, servo_config)
-    if game == "servo-cluster":
-        return build_servo_cluster(engine, config, servo_config, shards=shards)
-    if game == "opencraft-cluster":
-        return build_opencraft_cluster(engine, config, shards=shards)
-    return GAME_FACTORIES[game](engine, config)
+    return build_host(
+        game, engine, game_config or GameConfig(), servo_config=servo_config, shards=shards
+    )
 
 
 def format_table(headers: list[str], rows: list[list[str]]) -> str:

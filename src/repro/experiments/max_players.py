@@ -16,7 +16,7 @@ from repro.core import ServoConfig
 from repro.experiments.harness import ExperimentSettings, build_game_server
 from repro.server import GameConfig
 from repro.sim import SimulationEngine
-from repro.workload import Scenario
+from repro.workload import behaviour_a
 from repro.workload.scenarios import TICK_BUDGET_MS
 
 
@@ -61,7 +61,7 @@ def _fraction_over_budget(
     server = build_game_server(
         game, engine, GameConfig(world_type="flat"), servo_config=servo_config
     )
-    scenario = Scenario.behaviour_a(
+    scenario = behaviour_a(
         players=players, constructs=constructs, duration_s=settings.duration_s
     )
     result = scenario.run(server)

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.api.registry import unknown_name_error
 from repro.experiments.cluster_scalability import (
     format_cluster_scalability,
     run_cluster_scalability,
@@ -43,8 +45,8 @@ class ExperimentEntry:
     formatter: Callable[[Any], str]
 
     def run(self, settings: ExperimentSettings | None = None, **kwargs) -> Any:
-        if self.experiment_id == "tab01":
-            return self.runner()
+        if not inspect.signature(self.runner).parameters:
+            return self.runner()  # configuration-only runners (e.g. tab01)
         return self.runner(settings, **kwargs)
 
 
@@ -74,11 +76,13 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
 def run_experiment(
     experiment_id: str, settings: ExperimentSettings | None = None, **kwargs
 ) -> tuple[Any, str]:
-    """Run an experiment by id and return (result, formatted report)."""
+    """Run an experiment by id and return (result, formatted report).
+
+    Unknown ids raise the shared registry error (a ``ValueError`` that is
+    also a ``KeyError``) listing every registered experiment.
+    """
     if experiment_id not in EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
-        )
+        raise unknown_name_error("experiment", experiment_id, list(EXPERIMENTS))
     entry = EXPERIMENTS[experiment_id]
     result = entry.run(settings, **kwargs)
     return result, entry.formatter(result)

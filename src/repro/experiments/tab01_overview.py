@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.registry import unknown_name_error
 from repro.experiments.harness import format_table
 from repro.workload.scenarios import TABLE_I_SCENARIOS, Scenario
 
@@ -60,5 +61,5 @@ def format_tab01(result: Tab01Result) -> str:
 def scenario_for(section: str) -> Scenario:
     """The runnable scenario behind one Table I row."""
     if section not in TABLE_I_SCENARIOS:
-        raise KeyError(f"unknown Table I section {section!r}")
+        raise unknown_name_error("Table I section", section, list(TABLE_I_SCENARIOS))
     return TABLE_I_SCENARIOS[section]

@@ -19,7 +19,16 @@ from repro.workload.behavior import (
 )
 from repro.workload.bots import BotPlayer, BotSwarm, GameHost, JoinSchedule, SessionHandle
 from repro.workload.constructs import place_standard_constructs
-from repro.workload.scenarios import Scenario, ScenarioResult, TABLE_I_SCENARIOS
+from repro.workload.scenarios import (
+    Scenario,
+    ScenarioResult,
+    TABLE_I_SCENARIOS,
+    behaviour_a,
+    custom,
+    random_walk,
+    sinc,
+    star,
+)
 
 __all__ = [
     "Behavior",
@@ -37,4 +46,9 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "TABLE_I_SCENARIOS",
+    "behaviour_a",
+    "star",
+    "sinc",
+    "random_walk",
+    "custom",
 ]

@@ -5,13 +5,22 @@ world they play in, how many constructs exist and how long the experiment
 runs.  ``Scenario.run`` drives any game server (baseline or Servo) and returns
 a :class:`ScenarioResult` with the tick-duration and view-range statistics the
 paper's figures are built from.
+
+The paper's workload families are registered with the
+:mod:`repro.api.scenarios` registry (``behaviour_a``, ``star``, ``sinc``,
+``random``, plus the pass-through ``custom``), so run specs and the CLI can
+instantiate them by name; the historical ``Scenario.behaviour_a`` /
+``Scenario.star`` / ``Scenario.sinc`` / ``Scenario.random`` static methods
+remain as deprecated aliases.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.api.scenarios import register_scenario
 from repro.sim.metrics import BoxplotStats, boxplot_stats, fraction_exceeding
 from repro.workload.behavior import Behavior, behavior_by_code
 from repro.workload.bots import BotSwarm, GameHost, JoinSchedule
@@ -71,54 +80,32 @@ class Scenario:
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
 
-    # -- construction helpers -------------------------------------------------------------
+    # -- construction helpers (deprecated aliases of the registered factories) -------------
 
     @staticmethod
     def behaviour_a(players: int, constructs: int, duration_s: float = 30.0) -> "Scenario":
-        """The construct-scalability workload (Figures 1 and 7)."""
-        return Scenario(
-            name=f"A-{players}p-{constructs}sc",
-            players=players,
-            behavior_code="A",
-            world_type="flat",
-            constructs=constructs,
-            duration_s=duration_s,
-        )
+        """Deprecated alias of the registered ``behaviour_a`` scenario."""
+        _warn_static_alias("behaviour_a")
+        return behaviour_a(players, constructs, duration_s)
 
     @staticmethod
     def star(players: int, speed: float, duration_s: float = 120.0,
              join_interval_s: Optional[float] = 10.0) -> "Scenario":
-        """The terrain-scalability workloads S3/S8 (Figure 12a)."""
-        return Scenario(
-            name=f"S{speed:g}-{players}p",
-            players=players,
-            behavior_code=f"S{speed:g}",
-            world_type="default",
-            duration_s=duration_s,
-            join_interval_s=join_interval_s,
-        )
+        """Deprecated alias of the registered ``star`` scenario."""
+        _warn_static_alias("star")
+        return star(players, speed, duration_s, join_interval_s)
 
     @staticmethod
     def sinc(players: int = 5, duration_s: float = 1000.0) -> "Scenario":
-        """The terrain-QoS workload (Figure 10)."""
-        return Scenario(
-            name=f"Sinc-{players}p",
-            players=players,
-            behavior_code="Sinc",
-            world_type="default",
-            duration_s=duration_s,
-        )
+        """Deprecated alias of the registered ``sinc`` scenario."""
+        _warn_static_alias("sinc")
+        return sinc(players, duration_s)
 
     @staticmethod
     def random(players: int, duration_s: float = 120.0) -> "Scenario":
-        """The randomised behaviour workload R (Figure 12b)."""
-        return Scenario(
-            name=f"R-{players}p",
-            players=players,
-            behavior_code="R",
-            world_type="default",
-            duration_s=duration_s,
-        )
+        """Deprecated alias of the registered ``random`` scenario."""
+        _warn_static_alias("random")
+        return random_walk(players, duration_s)
 
     # -- execution -------------------------------------------------------------------------
 
@@ -170,16 +157,98 @@ class Scenario:
         )
 
 
+def _warn_static_alias(name: str) -> None:
+    warnings.warn(
+        f"Scenario.{name}() is deprecated; use "
+        f"repro.api.build_scenario({name!r}, ...) or the module-level factory",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# -- registered workload families (Table I) ------------------------------------------------
+
+
+@register_scenario("behaviour_a")
+def behaviour_a(players: int, constructs: int = 0, duration_s: float = 30.0) -> Scenario:
+    """The construct-scalability workload (Figures 1 and 7)."""
+    return Scenario(
+        name=f"A-{players}p-{constructs}sc",
+        players=players,
+        behavior_code="A",
+        world_type="flat",
+        constructs=constructs,
+        duration_s=duration_s,
+    )
+
+
+@register_scenario("star")
+def star(players: int, speed: float, duration_s: float = 120.0,
+         join_interval_s: Optional[float] = 10.0) -> Scenario:
+    """The terrain-scalability workloads S3/S8 (Figure 12a)."""
+    return Scenario(
+        name=f"S{speed:g}-{players}p",
+        players=players,
+        behavior_code=f"S{speed:g}",
+        world_type="default",
+        duration_s=duration_s,
+        join_interval_s=join_interval_s,
+    )
+
+
+@register_scenario("sinc")
+def sinc(players: int = 5, duration_s: float = 1000.0) -> Scenario:
+    """The terrain-QoS workload (Figure 10)."""
+    return Scenario(
+        name=f"Sinc-{players}p",
+        players=players,
+        behavior_code="Sinc",
+        world_type="default",
+        duration_s=duration_s,
+    )
+
+
+@register_scenario("random")
+def random_walk(players: int, duration_s: float = 120.0) -> Scenario:
+    """The randomised behaviour workload R (Figure 12b)."""
+    return Scenario(
+        name=f"R-{players}p",
+        players=players,
+        behavior_code="R",
+        world_type="default",
+        duration_s=duration_s,
+    )
+
+
+@register_scenario("custom")
+def custom(name: str, players: int, behavior_code: str = "A", world_type: str = "flat",
+           constructs: int = 0, duration_s: float = 30.0,
+           join_interval_s: Optional[float] = None,
+           preload_radius_blocks: float = 160.0, warmup_s: float = 5.0) -> Scenario:
+    """A fully explicit scenario: every :class:`Scenario` field as a parameter."""
+    return Scenario(
+        name=name,
+        players=players,
+        behavior_code=behavior_code,
+        world_type=world_type,
+        constructs=constructs,
+        duration_s=duration_s,
+        join_interval_s=join_interval_s,
+        preload_radius_blocks=preload_radius_blocks,
+        warmup_s=warmup_s,
+    )
+
+
 #: the experiment overview of Table I, keyed by the paper's section
 TABLE_I_SCENARIOS: dict[str, Scenario] = {
-    "IV-B": Scenario.behaviour_a(players=100, constructs=100, duration_s=60.0),
+    "IV-B": behaviour_a(players=100, constructs=100, duration_s=60.0),
     "IV-C": Scenario(
         name="latency-hiding", players=1, behavior_code="A", world_type="flat",
         constructs=50, duration_s=60.0,
     ),
-    "IV-D": Scenario.sinc(players=5, duration_s=300.0),
-    "IV-E": Scenario.star(players=30, speed=3, duration_s=120.0),
-    "IV-F": Scenario.star(players=8, speed=3, duration_s=120.0, join_interval_s=None),
+    "IV-D": sinc(players=5, duration_s=300.0),
+    "IV-E": star(players=30, speed=3, duration_s=120.0),
+    "IV-F": star(players=8, speed=3, duration_s=120.0, join_interval_s=None),
     "IV-G": Scenario(
         name="construct-performance", players=1, behavior_code="A", world_type="flat",
         constructs=1, duration_s=30.0,

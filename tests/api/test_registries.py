@@ -1,0 +1,239 @@
+"""Self-registering host/scenario registries and the shared unknown-name error."""
+
+import pytest
+
+from repro.api import (
+    HOSTS,
+    SCENARIOS,
+    UnknownNameError,
+    build_host,
+    build_scenario,
+    cluster_host_names,
+    host_names,
+    register_host,
+    register_scenario,
+    scenario_names,
+    scenario_parameters,
+)
+from repro.experiments import GAME_FACTORIES, build_game_server, settings_for_scale
+from repro.experiments.registry import run_experiment
+from repro.experiments.tab01_overview import scenario_for
+from repro.core import ServoConfig
+from repro.server import GameConfig
+from repro.sim import SimulationEngine
+from repro.workload import Scenario
+from repro.workload.scenarios import behaviour_a
+
+
+# -- unknown-name messages (one shared helper; pinned here) -------------------------------
+
+
+def test_unknown_host_message_lists_registered_hosts():
+    with pytest.raises(ValueError) as excinfo:
+        build_game_server("fortnite", SimulationEngine(seed=0))
+    message = str(excinfo.value)
+    assert message.startswith("unknown host 'fortnite'; registered hosts:")
+    for name in ("'minecraft'", "'opencraft'", "'opencraft-cluster'", "'servo'", "'servo-cluster'"):
+        assert name in message
+
+
+def test_unknown_scenario_message_lists_registered_scenarios():
+    with pytest.raises(ValueError) as excinfo:
+        build_scenario("walkabout")
+    message = str(excinfo.value)
+    assert message.startswith("unknown scenario 'walkabout'; registered scenarios:")
+    for name in ("'behaviour_a'", "'custom'", "'random'", "'sinc'", "'star'"):
+        assert name in message
+
+
+def test_unknown_experiment_message_lists_registered_experiments():
+    with pytest.raises(ValueError) as excinfo:
+        run_experiment("fig99")
+    message = str(excinfo.value)
+    assert message.startswith("unknown experiment 'fig99'; registered experiments:")
+    assert "'fig07a'" in message and "'tab01'" in message
+
+
+def test_unknown_name_error_is_both_value_and_key_error():
+    # Callers written against the historical KeyError contract keep working.
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+    with pytest.raises(KeyError):
+        scenario_for("IV-Z")
+    with pytest.raises(ValueError) as excinfo:
+        scenario_for("IV-Z")
+    assert "unknown Table I section 'IV-Z'" in str(excinfo.value)
+    assert "'IV-B'" in str(excinfo.value)
+    assert isinstance(excinfo.value, UnknownNameError)
+
+
+def test_unknown_settings_scale_message():
+    with pytest.raises(ValueError) as excinfo:
+        settings_for_scale("huge")
+    assert "unknown settings scale 'huge'" in str(excinfo.value)
+    assert "'paper'" in str(excinfo.value) and "'quick'" in str(excinfo.value)
+
+
+# -- host registry ------------------------------------------------------------------------
+
+
+def test_builtin_hosts_registered():
+    assert set(host_names()) >= {
+        "opencraft", "minecraft", "servo", "opencraft-cluster", "servo-cluster",
+    }
+    assert cluster_host_names() == {"opencraft-cluster", "servo-cluster"}
+
+
+def test_register_host_decorator_adds_buildable_variant():
+    @register_host("test-tiny", cluster=False)
+    def build_tiny(engine, game_config=None, servo_config=None):
+        from repro.core.servo import build_servo_server
+
+        return build_servo_server(engine, game_config, servo_config, name="test-tiny")
+
+    try:
+        host = build_host(
+            "test-tiny",
+            SimulationEngine(seed=0),
+            GameConfig(world_type="flat"),
+            servo_config=ServoConfig(provider="azure"),
+        )
+        assert host.name == "test-tiny"
+        assert host.servo.config.provider == "azure"
+        assert "test-tiny" in GAME_FACTORIES  # the legacy view tracks the registry
+    finally:
+        HOSTS.unregister("test-tiny")
+    assert "test-tiny" not in GAME_FACTORIES
+
+
+def test_cluster_games_is_a_live_view():
+    from repro.experiments import CLUSTER_GAMES
+
+    @register_host("test-cluster", cluster=True)
+    def build_fake(engine, game_config=None, shards=2):
+        raise NotImplementedError
+
+    try:
+        assert "test-cluster" in CLUSTER_GAMES
+        assert "test-cluster" in GAME_FACTORIES
+    finally:
+        HOSTS.unregister("test-cluster")
+    assert "test-cluster" not in CLUSTER_GAMES
+    assert {"opencraft-cluster", "servo-cluster"} <= set(CLUSTER_GAMES)
+
+
+def test_duplicate_host_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_host("servo")(lambda engine, config=None: None)
+
+
+def test_builtin_collision_fails_at_registration_site_in_fresh_process():
+    # Registering a builtin name before any builtin module is imported must
+    # fail immediately (not poison the lazy builtin import on first lookup).
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    script = (
+        "from repro.api import register_host, build_host\n"
+        "from repro.sim import SimulationEngine\n"
+        "try:\n"
+        "    register_host('servo')(lambda engine, config=None: None)\n"
+        "except ValueError as error:\n"
+        "    assert 'already registered' in str(error), error\n"
+        "else:\n"
+        "    raise SystemExit('collision was not detected')\n"
+        "assert build_host('opencraft', SimulationEngine(seed=0)).name == 'opencraft'\n"
+        "print('registry survived')\n"
+    )
+    src = Path(__file__).resolve().parents[2] / "src"
+    completed = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True,
+        env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "registry survived" in completed.stdout
+
+
+def test_rejected_knob_names_host_and_knob():
+    with pytest.raises(ValueError) as excinfo:
+        build_game_server(
+            "opencraft", SimulationEngine(seed=0), servo_config=ServoConfig()
+        )
+    assert "host 'opencraft' does not accept the 'servo_config' knob" in str(excinfo.value)
+    with pytest.raises(ValueError) as excinfo:
+        build_game_server("servo", SimulationEngine(seed=0), shards=3)
+    assert "host 'servo' does not accept the 'shards' knob" in str(excinfo.value)
+
+
+def test_game_factories_entries_accept_keyword_knobs():
+    cluster = GAME_FACTORIES["servo-cluster"](
+        SimulationEngine(seed=0),
+        GameConfig(world_type="flat"),
+        servo_config=ServoConfig(tick_lead=10),
+        shards=3,
+    )
+    assert cluster.shard_count == 3
+    baseline = GAME_FACTORIES["opencraft"](
+        SimulationEngine(seed=0), GameConfig(world_type="flat")
+    )
+    assert baseline.name == "opencraft"
+    assert len(GAME_FACTORIES) >= 5
+    assert sorted(GAME_FACTORIES) == sorted(GAME_FACTORIES.keys())
+    assert all(callable(factory) for _, factory in GAME_FACTORIES.items())
+
+
+# -- scenario registry --------------------------------------------------------------------
+
+
+def test_builtin_scenarios_registered():
+    assert set(scenario_names()) >= {"behaviour_a", "star", "sinc", "random", "custom"}
+
+
+def test_build_scenario_matches_module_factory():
+    from_registry = build_scenario("behaviour_a", players=4, constructs=2, duration_s=3.0)
+    direct = behaviour_a(players=4, constructs=2, duration_s=3.0)
+    assert from_registry == direct
+    assert from_registry.behavior_code == "A"
+    star = build_scenario("star", players=6, speed=8)
+    assert star.behavior_code == "S8"
+    custom = build_scenario("custom", name="mine", players=2, behavior_code="R",
+                            world_type="default", duration_s=9.0)
+    assert custom.name == "mine" and custom.duration_s == 9.0
+
+
+def test_build_scenario_invalid_params_list_accepted_ones():
+    with pytest.raises(ValueError) as excinfo:
+        build_scenario("behaviour_a", players=4, speed=9)
+    message = str(excinfo.value)
+    assert "invalid params for scenario 'behaviour_a'" in message
+    assert "players" in message and "constructs" in message and "duration_s" in message
+    with pytest.raises(ValueError, match="invalid params"):
+        build_scenario("behaviour_a")  # players is required
+
+
+def test_register_scenario_decorator():
+    @register_scenario("test-lonely")
+    def lonely(duration_s: float = 1.0):
+        return behaviour_a(players=1, constructs=0, duration_s=duration_s)
+
+    try:
+        scenario = build_scenario("test-lonely", duration_s=4.0)
+        assert scenario.players == 1 and scenario.duration_s == 4.0
+        assert scenario_parameters("test-lonely") == ["duration_s"]
+    finally:
+        SCENARIOS.unregister("test-lonely")
+    assert "test-lonely" not in scenario_names()
+
+
+def test_deprecated_static_aliases_still_work_and_warn():
+    with pytest.deprecated_call():
+        alias = Scenario.behaviour_a(players=4, constructs=2, duration_s=3.0)
+    assert alias == behaviour_a(players=4, constructs=2, duration_s=3.0)
+    with pytest.deprecated_call():
+        assert Scenario.star(10, 3).behavior_code == "S3"
+    with pytest.deprecated_call():
+        assert Scenario.sinc().behavior_code == "Sinc"
+    with pytest.deprecated_call():
+        assert Scenario.random(10).behavior_code == "R"

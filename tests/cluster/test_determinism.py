@@ -9,13 +9,13 @@ streams make the whole cluster a deterministic function of the seed.
 from repro.cluster import build_servo_cluster
 from repro.server import GameConfig
 from repro.sim import SimulationEngine
-from repro.workload import Scenario
+from repro.workload import behaviour_a
 
 
 def run_cluster(seed: int):
     engine = SimulationEngine(seed=seed)
     cluster = build_servo_cluster(engine, GameConfig(world_type="flat"), shards=2)
-    scenario = Scenario.behaviour_a(players=12, constructs=4, duration_s=4.0)
+    scenario = behaviour_a(players=12, constructs=4, duration_s=4.0)
     result = scenario.run(cluster)
     return engine, cluster, result
 

@@ -7,7 +7,7 @@ from repro.core.offload import SC_SIMULATION_FUNCTION
 from repro.core.terrain_service import TERRAIN_GENERATION_FUNCTION
 from repro.server import GameConfig, make_opencraft
 from repro.sim import SimulationEngine
-from repro.workload import Scenario
+from repro.workload import behaviour_a
 from repro.workload.constructs import place_standard_constructs
 
 
@@ -41,7 +41,7 @@ def test_servo_uses_azure_when_configured(engine):
 
 def test_servo_runs_a_construct_workload_and_offloads(engine):
     server = build_servo_server(engine, GameConfig(world_type="flat"))
-    scenario = Scenario.behaviour_a(players=5, constructs=10, duration_s=5.0)
+    scenario = behaviour_a(players=5, constructs=10, duration_s=5.0)
     scenario.warmup_s = 1.0
     result = scenario.run(server)
     runtime = server.servo
@@ -107,7 +107,7 @@ def test_servo_persists_and_reloads_terrain_through_blob_storage(engine):
 
 def test_servo_cost_accounting_is_exposed(engine):
     server = build_servo_server(engine, GameConfig(world_type="flat"))
-    scenario = Scenario.behaviour_a(players=2, constructs=5, duration_s=3.0)
+    scenario = behaviour_a(players=2, constructs=5, duration_s=3.0)
     scenario.warmup_s = 0.5
     scenario.run(server)
     runtime = server.servo

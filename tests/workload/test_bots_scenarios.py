@@ -4,7 +4,7 @@ import pytest
 
 from repro.server import GameConfig, make_opencraft
 from repro.sim import SimulationEngine
-from repro.workload import JoinSchedule, Scenario
+from repro.workload import JoinSchedule, Scenario, behaviour_a, random_walk, sinc, star
 from repro.workload.behavior import BoundedAreaBehavior
 from repro.workload.bots import BotSwarm
 from repro.workload.constructs import place_standard_constructs
@@ -66,7 +66,7 @@ def test_scenario_validation():
 
 def test_scenario_run_collects_tick_durations_and_qos():
     server = make_server()
-    scenario = Scenario.behaviour_a(players=4, constructs=2, duration_s=3.0)
+    scenario = behaviour_a(players=4, constructs=2, duration_s=3.0)
     scenario.warmup_s = 1.0
     result = scenario.run(server)
     expected_ticks = int(scenario.duration_s * 20)
@@ -81,11 +81,11 @@ def test_scenario_run_collects_tick_durations_and_qos():
 
 
 def test_scenario_factories_cover_table_i_codes():
-    assert Scenario.behaviour_a(10, 5).behavior_code == "A"
-    assert Scenario.star(10, 3).behavior_code == "S3"
-    assert Scenario.star(10, 8).behavior_code == "S8"
-    assert Scenario.sinc().behavior_code == "Sinc"
-    assert Scenario.random(10).behavior_code == "R"
+    assert behaviour_a(10, 5).behavior_code == "A"
+    assert star(10, 3).behavior_code == "S3"
+    assert star(10, 8).behavior_code == "S8"
+    assert sinc().behavior_code == "Sinc"
+    assert random_walk(10).behavior_code == "R"
 
 
 def test_table_i_registry_contains_all_sections():
