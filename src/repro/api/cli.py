@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario parameter (repeatable; value parsed as JSON when possible)",
     )
     run.add_argument("--shards", type=int, help="shard count for cluster hosts")
+    run.add_argument(
+        "--workers",
+        type=int,
+        help="host worker processes for parallel round execution "
+        "(wall-clock only; virtual results are identical)",
+    )
     run.add_argument("--world-type", choices=("default", "flat"), help="game world type")
     run.add_argument("--provider", choices=("aws", "azure"), help="Servo cloud provider")
     run.add_argument("--seed", type=int, help="simulation seed")
@@ -100,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--repeats", type=int, default=2, help="runs per scenario (>= 2)"
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the cluster scenario (determinism-checked "
+        "against the serial run)",
     )
     bench.add_argument("--out", metavar="PATH", help="write the JSON report here")
     bench.set_defaults(handler=_cmd_bench)
@@ -137,6 +150,8 @@ def _spec_dict_from_args(args: argparse.Namespace) -> dict:
         host["game"] = args.game
     if args.shards is not None:
         host["shards"] = args.shards
+    if args.workers is not None:
+        host["workers"] = args.workers
     if args.world_type is not None:
         game_config["world_type"] = args.world_type
     if args.provider is not None:
@@ -220,7 +235,9 @@ def _cmd_experiments_run(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.api.bench import format_bench, run_bench
 
-    report = run_bench(duration_s=args.duration_s, repeats=args.repeats)
+    report = run_bench(
+        duration_s=args.duration_s, repeats=args.repeats, workers=args.workers
+    )
     print(format_bench(report))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:

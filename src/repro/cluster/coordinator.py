@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.cluster.parallel import SerialExecutor, ShardRoundExecutor
 from repro.cluster.partition import WorldPartitioner
 from repro.constructs.circuit import SimulatedConstruct
 from repro.net.message import Message
@@ -129,6 +130,7 @@ class ClusterCoordinator(TickLoop):
         session_store: Optional[StorageBackend] = None,
         name: str = "cluster",
         boundary_spawn_every: int = 4,
+        executor: Optional[ShardRoundExecutor] = None,
     ) -> None:
         if len(shards) != partitioner.shard_count:
             raise ValueError(
@@ -141,6 +143,9 @@ class ClusterCoordinator(TickLoop):
         self.config = config
         self.session_store = session_store
         self.name = name
+        #: where each round's pure compute runs (construct batches); shards
+        #: tick through the coordinator's executor rather than their own
+        self.executor = executor if executor is not None else SerialExecutor()
         #: every Nth player spawns near a zone boundary (0 disables); the
         #: bounded-area workloads then wander across it, exercising migration
         self.boundary_spawn_every = int(boundary_spawn_every)
@@ -288,9 +293,27 @@ class ClusterCoordinator(TickLoop):
     # -- the lockstep round ----------------------------------------------------------
 
     def tick(self) -> TickRecord:
-        """Execute one cluster round: tick every shard, migrate, advance once."""
+        """Execute one cluster round: tick every shard, migrate, advance once.
+
+        Shards tick strictly in shard order, each begin/step/finish in full
+        before the next begins: they share named RNG streams (platform, blob,
+        disk, terrain latency), so interleaving phases across shards would
+        reorder draws and change virtual results.  Only the construct batch —
+        pure integer compute between ``tick_begin`` and ``tick_finish`` — is
+        handed to the round executor, which may scatter it across worker
+        processes without touching the draw order.
+        """
         start_ms = self.engine.now_ms
-        shard_records = [shard.tick(advance_clock=False) for shard in self.shards]
+        executor = self.executor
+        shard_records = []
+        for slot, shard in enumerate(self.shards):
+            progress = shard.tick_begin()
+            fixed_points = executor.step_circuits(
+                progress.construct_plan.circuits, slot=slot
+            )
+            shard_records.append(
+                shard.tick_finish(progress, fixed_points, advance_clock=False)
+            )
         self._migrate_crossed_players()
 
         duration_ms = max(record.duration_ms for record in shard_records)

@@ -1,0 +1,293 @@
+"""Parallel wall-clock execution of cluster rounds, determinism-gated.
+
+A :class:`ShardRoundExecutor` is the host-side engine a
+:class:`~repro.cluster.coordinator.ClusterCoordinator` (or a single
+:class:`~repro.server.gameloop.GameServer`) runs its per-round **pure
+compute** on:
+
+* the construct batches the backends expose through
+  :class:`~repro.server.sc_engine.ConstructTickPlan` (integer circuit
+  stepping — no randomness, no shared state), and
+* terrain chunk generation, which is a pure function of
+  ``(world type, seed, chunk position)``.
+
+Two implementations share that surface.  :class:`SerialExecutor` runs
+everything inline and is byte-for-byte the pre-executor behaviour.
+:class:`ParallelExecutor` keeps a persistent fork-based process pool of
+``workers`` processes: construct batches are scattered in contiguous,
+order-preserving slices across the pool and the flags merged back in shard
+order, and terrain chunks are pre-generated in the pool between the virtual
+request and completion times, overlapping generation with simulation.
+
+Why only pure compute?  The shards of a cluster share named RNG streams (the
+FaaS platform, the blob store, the cluster disk, the local terrain latency
+stream), and the simulation's determinism contract hashes every tick
+duration: any reordering of draws across shards changes virtual results.  A
+full shard-per-worker fan-out would interleave those draws
+nondeterministically, so every draw stays on the coordinator, in serial
+shard order, and the workers only ever execute closed-form functions of
+their inputs.  That is what makes the determinism gate hold *by
+construction*: ``workers=1`` and ``workers=N`` run the same kernels on the
+same inputs and must produce identical hashes, which the cluster benchmark
+and CI assert on every run.
+
+Small inputs are not worth a round-trip through pickling and the pool:
+batches below :data:`MIN_CIRCUITS_TO_SCATTER` circuits (and all batches on a
+single-worker executor) step inline through the same
+:class:`~repro.constructs.batched.BatchedCircuitStepper` the serial path
+uses, so enabling workers on a small world costs almost nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+from repro.constructs.batched import BatchedCircuitStepper, advance_states
+from repro.world.chunk import Chunk
+from repro.world.coords import ChunkPos
+from repro.world.terrain import TerrainGenerator, make_terrain_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Future
+
+    from repro.constructs.compiled import CompiledCircuit
+
+#: scattering fewer circuits than this costs more in pickling than it saves
+MIN_CIRCUITS_TO_SCATTER = 16
+
+# -- worker-side tasks (module level so they pickle by reference) --------------------
+
+#: per-process generator cache, mirroring a warm worker reusing its generator
+_WORKER_GENERATORS: dict[tuple[str, int], TerrainGenerator] = {}
+
+
+def _worker_generator(world_type: str, seed: int) -> TerrainGenerator:
+    key = (world_type, seed)
+    generator = _WORKER_GENERATORS.get(key)
+    if generator is None:
+        generator = _WORKER_GENERATORS[key] = make_terrain_generator(world_type, seed=seed)
+    return generator
+
+
+def _generate_chunk_task(world_type: str, seed: int, cx: int, cz: int) -> Chunk:
+    """Generate one chunk in a worker: pure in (world type, seed, position)."""
+    return _worker_generator(world_type, seed).generate_chunk(ChunkPos(cx, cz))
+
+
+def _advance_batch_task(layout, states):
+    """Step one packed batch slice in a worker: pure in (layout, states)."""
+    return advance_states(layout, states)
+
+
+# -- terrain handles -----------------------------------------------------------------
+
+
+class TerrainTask:
+    """A chunk being produced by an executor, resolved when actually needed.
+
+    Providers submit at (virtual) request time and resolve at completion
+    time; with a process pool in between, the chunk is computed while the
+    simulation keeps ticking.
+    """
+
+    def resolve(self) -> Chunk:
+        raise NotImplementedError
+
+
+class _InlineTerrainTask(TerrainTask):
+    """Serial executor's handle: generation simply happens at resolve time."""
+
+    __slots__ = ("_generator", "_position")
+
+    def __init__(self, generator: TerrainGenerator, position: ChunkPos) -> None:
+        self._generator = generator
+        self._position = position
+
+    def resolve(self) -> Chunk:
+        return self._generator.generate_chunk(self._position)
+
+
+class _PooledTerrainTask(TerrainTask):
+    """Parallel executor's handle: a future, with an inline fallback."""
+
+    __slots__ = ("_future", "_spec")
+
+    def __init__(self, future: "Future", spec: tuple[str, int, int, int]) -> None:
+        self._future = future
+        self._spec = spec
+
+    def resolve(self) -> Chunk:
+        try:
+            return self._future.result()
+        except Exception:
+            # A lost worker must not lose terrain: regenerate inline (the
+            # content is pure, so the fallback chunk is identical).
+            world_type, seed, cx, cz = self._spec
+            return _generate_chunk_task(world_type, seed, cx, cz)
+
+
+# -- executors -----------------------------------------------------------------------
+
+
+class ShardRoundExecutor:
+    """Where a round's pure compute runs: inline, or on a process pool."""
+
+    #: worker process count (1 means everything runs inline)
+    workers: int = 1
+
+    def step_circuits(self, circuits: list["CompiledCircuit"], slot: int = 0) -> list[bool]:
+        """Advance every circuit one step; returns per-circuit fixed-point flags.
+
+        ``slot`` identifies the caller (one per cluster shard) so each
+        shard's packed-batch cache survives between rounds instead of being
+        evicted by the next shard's batch.
+        """
+        raise NotImplementedError
+
+    def submit_terrain(self, generator: TerrainGenerator, position: ChunkPos) -> TerrainTask:
+        """Start generating a chunk; the returned task resolves to it."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker processes (no-op for inline executors)."""
+
+
+class SerialExecutor(ShardRoundExecutor):
+    """Everything inline: exactly the behaviour of the pre-executor code."""
+
+    workers = 1
+
+    def __init__(self) -> None:
+        self._steppers: dict[int, BatchedCircuitStepper] = {}
+
+    def _stepper(self, slot: int) -> BatchedCircuitStepper:
+        stepper = self._steppers.get(slot)
+        if stepper is None:
+            stepper = self._steppers[slot] = BatchedCircuitStepper()
+        return stepper
+
+    def step_circuits(self, circuits: list["CompiledCircuit"], slot: int = 0) -> list[bool]:
+        if not circuits:
+            return []
+        return self._stepper(slot).step_batch(circuits)
+
+    def submit_terrain(self, generator: TerrainGenerator, position: ChunkPos) -> TerrainTask:
+        return _InlineTerrainTask(generator, position)
+
+
+class ParallelExecutor(ShardRoundExecutor):
+    """A persistent fork-based process pool for rounds' pure compute.
+
+    The pool is created lazily on first use (forking early keeps the child
+    images small, but creating it in ``__init__`` would pay the cost even
+    for runs that never cross the scatter threshold).  Determinism does not
+    depend on the pool at all: the workers run the same
+    :func:`~repro.constructs.batched.advance_states` kernel and the same
+    terrain generators as the serial path, on inputs fixed before
+    submission, and results are merged in submission order.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        min_circuits_to_scatter: int = MIN_CIRCUITS_TO_SCATTER,
+        use_pool: Optional[bool] = None,
+    ) -> None:
+        if workers < 2:
+            raise ValueError(f"ParallelExecutor needs at least 2 workers, got {workers}")
+        self.workers = int(workers)
+        self.min_circuits_to_scatter = int(min_circuits_to_scatter)
+        # On a single-core host the pool is pure overhead — the workers
+        # time-share the one core and every round-trip adds pickling and IPC
+        # on top.  Degrade to inline execution there (results are identical
+        # either way; that is the determinism contract).  ``use_pool`` forces
+        # the decision for tests and for callers that know better.
+        if use_pool is None:
+            use_pool = (os.cpu_count() or 1) > 1
+        self.pooling_enabled = bool(use_pool)
+        self._pool = None
+        #: per-(slot, slice) steppers so packed-batch caches persist per shard
+        self._slice_steppers: dict[tuple[int, int], BatchedCircuitStepper] = {}
+        self._inline = SerialExecutor()
+
+    # -- pool lifecycle ---------------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- construct batches ------------------------------------------------------------
+
+    def _slice_stepper(self, slot: int, index: int) -> BatchedCircuitStepper:
+        key = (slot, index)
+        stepper = self._slice_steppers.get(key)
+        if stepper is None:
+            stepper = self._slice_steppers[key] = BatchedCircuitStepper()
+        return stepper
+
+    def step_circuits(self, circuits: list["CompiledCircuit"], slot: int = 0) -> list[bool]:
+        if not circuits:
+            return []
+        if not self.pooling_enabled or len(circuits) < self.min_circuits_to_scatter:
+            return self._inline.step_circuits(circuits, slot=slot)
+        pool = self._ensure_pool()
+
+        # Contiguous, order-preserving slices: concatenating the slices'
+        # flags in slice order reproduces the unscattered flag order, and
+        # stable fleets keep hitting each slice's packed-batch cache.
+        count = len(circuits)
+        slices = min(self.workers, count)
+        bounds = [(count * i) // slices for i in range(slices + 1)]
+        submitted = []
+        for index in range(slices):
+            part = circuits[bounds[index]:bounds[index + 1]]
+            stepper = self._slice_stepper(slot, index)
+            packed = stepper.pack(part)
+            states = stepper.read_states(packed)
+            future = pool.submit(_advance_batch_task, packed.layout, states)
+            submitted.append((stepper, packed, states, future))
+
+        flags: list[bool] = []
+        for stepper, packed, states, future in submitted:
+            try:
+                new_states = future.result()
+            except Exception:
+                # A lost worker falls back to the identical local kernel.
+                new_states = advance_states(packed.layout, states)
+            flags.extend(stepper.apply_new_states(packed, states, new_states))
+        return flags
+
+    # -- terrain ----------------------------------------------------------------------
+
+    def submit_terrain(self, generator: TerrainGenerator, position: ChunkPos) -> TerrainTask:
+        if not self.pooling_enabled:
+            return _InlineTerrainTask(generator, position)
+        spec = (generator.world_type, generator.seed, position.cx, position.cz)
+        try:
+            future = self._ensure_pool().submit(_generate_chunk_task, *spec)
+        except Exception:
+            return _InlineTerrainTask(generator, position)
+        return _PooledTerrainTask(future, spec)
+
+
+def make_executor(workers: int) -> ShardRoundExecutor:
+    """The executor for a ``workers`` knob value (validated eagerly)."""
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    if workers == 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)

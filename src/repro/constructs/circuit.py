@@ -144,6 +144,17 @@ class SimulatedConstruct:
             cells[pos].state = value
         self.step = int(step)
 
+    def apply_values(self, values: list[int], step: int) -> None:
+        """Overwrite cell states from a list aligned with :attr:`cells` order.
+
+        The fastest merge path: callers that repeatedly re-apply the same
+        snapshots (looping speculative sequences) align the values once and
+        skip the per-cell position hashing of :meth:`apply_state_unchecked`.
+        """
+        for cell, value in zip(self._sorted_cells, values):
+            cell.state = value
+        self.step = step
+
     def copy_state_from(self, other: "SimulatedConstruct") -> None:
         """Copy cell states (and the step counter) from a structurally identical construct.
 

@@ -110,6 +110,12 @@ class CompiledCircuit:
         the construct's modification counter moves, so player edits that touch
         properties are picked up.
         """
+        # Snapshot the counter once, before reading any properties: if an edit
+        # lands mid-refresh, the stored value stays behind the live counter and
+        # the next step() triggers another refresh instead of recording
+        # half-updated parameters as current.  This also makes the compiled
+        # form safe to serialize while the owning construct is being edited.
+        modification = self.construct.modification_counter
         params = []
         masks = []
         for code, cell in zip(self._codes, self._cells):
@@ -125,7 +131,7 @@ class CompiledCircuit:
                 masks.append(0)
         self._params = params
         self._masks = masks
-        self._params_modification = self.construct.modification_counter
+        self._params_modification = modification
 
     @property
     def cell_count(self) -> int:

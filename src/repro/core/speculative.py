@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.constructs.batched import BatchedCircuitStepper
 from repro.constructs.circuit import SimulatedConstruct
 from repro.constructs.compiled import compile_circuit
 from repro.constructs.simulator import clone_construct
@@ -35,7 +36,11 @@ from repro.core.loop_detection import CompressedStateSequence
 from repro.core.offload import SC_SIMULATION_FUNCTION, OffloadReply, OffloadRequest
 from repro.faas.function import Invocation
 from repro.faas.platform import FaasPlatform
-from repro.server.sc_engine import ConstructBackend, ConstructTickReport
+from repro.server.sc_engine import (
+    ConstructBackend,
+    ConstructTickPlan,
+    ConstructTickReport,
+)
 from repro.sim.engine import SimulationEngine
 from repro.world.coords import BlockPos
 
@@ -71,11 +76,28 @@ class _AvailableSequence:
     sequence: CompressedStateSequence
     timestamp: int
     last_step: int
+    #: per-snapshot value lists aligned with the construct's sorted cell
+    #: order, keyed by snapshot identity (snapshots are owned by
+    #: ``sequence``, so their ids are stable for this entry's lifetime);
+    #: looping sequences re-apply the same few snapshots for many ticks,
+    #: and the aligned form skips per-cell position hashing on each merge
+    aligned: dict[int, list[int]] = field(default_factory=dict)
 
     def covers(self, step: int) -> bool:
         if self.sequence.is_looping:
             return self.sequence.covers(step)
         return self.sequence.covers(step) and step <= self.last_step
+
+    def aligned_values(self, construct: SimulatedConstruct, step: int) -> list[int]:
+        """The snapshot for ``step`` as a cell-order-aligned value list."""
+        snapshot = self.sequence.raw_state_at(step)
+        key = id(snapshot)
+        values = self.aligned.get(key)
+        if values is None:
+            states = snapshot.states
+            values = [states[cell.position] for cell in construct.cells]
+            self.aligned[key] = values
+        return values
 
 
 @dataclass
@@ -139,6 +161,7 @@ class SpeculativeConstructBackend(ConstructBackend):
         self.function_name = function_name
         self._constructs: dict[int, SimulatedConstruct] = {}
         self._records: dict[int, SpeculationRecord] = {}
+        self._stepper = BatchedCircuitStepper()
         #: construct ids pinned at a fixed point by a length-1 looping
         #: sequence: every future merge would re-apply the same state, so the
         #: backend only advances their step counters until a player edit
@@ -152,6 +175,9 @@ class SpeculativeConstructBackend(ConstructBackend):
         # Compile up front so the fallback path never pays the flattening cost
         # inside a tick.
         compile_circuit(construct)
+        # A re-used construct id (removed, then re-placed) must start from a
+        # clean slate: no inherited fixed-point pin, no stale speculation.
+        self._quiescent.discard(construct.construct_id)
         self._records[construct.construct_id] = SpeculationRecord(
             construct_id=construct.construct_id
         )
@@ -248,16 +274,39 @@ class SpeculativeConstructBackend(ConstructBackend):
 
     # -- the per-tick work ----------------------------------------------------------------
 
-    def tick(self, tick_index: int) -> ConstructTickReport:
+    def begin_tick(self, tick_index: int) -> ConstructTickPlan:
+        """Advance every construct one step.
+
+        The tick runs in three phases so the local-simulation work can be
+        batched: (1) per construct, in id order, consume arrived replies and
+        either merge a speculative state or queue the construct for local
+        fallback; (2) advance all fallback circuits in one vectorised batch
+        (constructs are independent, so this is equivalent to stepping them
+        in order); (3) per construct, in id order again, drop exhausted
+        sequences and issue follow-up invocations.  Every random draw happens
+        in phase 1 (none) or phase 3 (``platform.invoke``), in construct id
+        order — exactly the order the single-loop implementation used — so
+        virtual results are bit-identical.
+
+        The split exposes phase 2 as the plan's pure batch: phase 1 runs
+        here, phases 3 runs in ``finish`` once the batch has been stepped —
+        by this backend inline, or by a cluster round's executor.
+        """
         report = ConstructTickReport(
             total_constructs=len(self._constructs), construct_tick=True
         )
         now_ms = self.engine.now_ms
         tick_lead = self.config.tick_lead
         quiescent = self._quiescent
-        for construct in self.constructs():
+        ordered = self.constructs()
+
+        # Phase 1: merges, quiescent skips, and fallback collection.
+        fallbacks: list[SimulatedConstruct] = []
+        fast_path_skipped: set[int] = set()
+        for construct in ordered:
             record = self._records[construct.construct_id]
             if construct.construct_id in quiescent:
+                fast_path_skipped.add(construct.construct_id)
                 # Fixed point pinned by a length-1 loop and nothing in
                 # flight: merging would re-apply the state the construct
                 # already holds.  The simulated server still pays the merge
@@ -273,8 +322,9 @@ class SpeculativeConstructBackend(ConstructBackend):
             target_step = construct.step + 1
             entry = record.sequence_for(construct, target_step)
             if entry is not None:
-                snapshot = entry.sequence.raw_state_at(target_step)
-                construct.apply_state_unchecked(snapshot.states, step=target_step)
+                construct.apply_values(
+                    entry.aligned_values(construct, target_step), step=target_step
+                )
                 record.merged_steps += 1
                 report.merged_speculative += 1
                 sequence = entry.sequence
@@ -287,9 +337,6 @@ class SpeculativeConstructBackend(ConstructBackend):
                     # been set to it: every future step is this exact state.
                     quiescent.add(construct.construct_id)
             else:
-                # Compiled step without the snapshot a ConstructSimulator
-                # round-trip would build and discard.
-                compile_circuit(construct).step()
                 record.fallback_steps += 1
                 report.simulated_locally += 1
                 pending = record.pending
@@ -299,16 +346,39 @@ class SpeculativeConstructBackend(ConstructBackend):
                     and pending.request.timestamp == construct.modification_counter
                 ):
                     pending.locally_computed += 1
+                fallbacks.append(construct)
             report.advanced += 1
-            record.drop_exhausted(construct)
 
-            coverage_end = record.coverage_end(construct)
-            if (
-                coverage_end < _UNBOUNDED_COVERAGE
-                and coverage_end - construct.step <= tick_lead
-            ):
-                self._issue_invocation(record, construct)
-        return report
+        # Phase 2 is the plan's pure batch: one local step for every
+        # fallback construct, wherever the caller chooses to run it.
+        circuits = [compile_circuit(construct) for construct in fallbacks]
+
+        def finish(_fixed_points: list[bool]) -> ConstructTickReport:
+            # Phase 3: bookkeeping and follow-up invocations, in construct
+            # order.  Constructs that took the quiescent fast path in phase 1
+            # are skipped (as the single loop did); ones that became
+            # quiescent *this tick* still get their transition-tick
+            # bookkeeping.  The fixed-point flags are ignored: quiescence in
+            # this backend is pinned by length-1 looping sequences, not by
+            # locally observed fixed points.
+            for construct in ordered:
+                if construct.construct_id in fast_path_skipped:
+                    continue
+                record = self._records[construct.construct_id]
+                record.drop_exhausted(construct)
+                coverage_end = record.coverage_end(construct)
+                if (
+                    coverage_end < _UNBOUNDED_COVERAGE
+                    and coverage_end - construct.step <= tick_lead
+                ):
+                    self._issue_invocation(record, construct)
+            return report
+
+        return ConstructTickPlan(circuits=circuits, finish=finish, stepper=self._stepper)
+
+    def tick(self, tick_index: int) -> ConstructTickReport:
+        plan = self.begin_tick(tick_index)
+        return plan.finish(plan.step_inline())
 
     # -- introspection -----------------------------------------------------------------------
 

@@ -88,7 +88,10 @@ class ServoStorageService(StorageBackend):
             return 0  # nothing persisted yet; planning would be pointless work
         plan = self.policy.plan([avatar.position for avatar in avatars])
         fetched = 0
-        for chunk_pos in sorted(plan.prefetch | plan.required):
+        candidates = sorted(
+            plan.prefetch | plan.required, key=lambda pos: (pos.cx, pos.cz)
+        )
+        for chunk_pos in candidates:
             key = chunk_pos.key()
             if self.cache.is_cached(key) or not self.remote.exists(key):
                 continue

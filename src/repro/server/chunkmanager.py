@@ -23,7 +23,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
 
 from repro.server.entities import Avatar
 from repro.sim.engine import SimulationEngine
@@ -33,6 +35,9 @@ from repro.world.coords import CHUNK_SIZE, BlockPos, ChunkPos, block_to_chunk, c
 from repro.world.serialization import chunk_from_bytes, chunk_to_bytes
 from repro.world.terrain import TerrainGenerator
 from repro.world.world import VoxelWorld
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.parallel import ShardRoundExecutor
 
 #: virtual milliseconds of on-server work to generate one default-world chunk
 CHUNK_GENERATION_WORK_MS = 250.0
@@ -47,6 +52,20 @@ def _ring_offsets(radius_chunks: int) -> tuple[tuple[int, int], ...]:
             if math.hypot(dx, dz) <= radius_chunks + 0.5:
                 offsets.append((dx, dz))
     return tuple(offsets)
+
+
+@lru_cache(maxsize=8192)
+def _ring_chunks(center_cx: int, center_cz: int, radius_chunks: int) -> frozenset[ChunkPos]:
+    """The ring footprint translated to a center chunk, as a reusable frozenset.
+
+    Frozensets carry their elements' hashes, so ``set.update`` on a cached
+    ring skips re-hashing every ``ChunkPos`` — the dominant cost of building
+    eviction keep-sets and per-player view sets from scratch each time.
+    """
+    return frozenset(
+        ChunkPos(center_cx + dx, center_cz + dz)
+        for dx, dz in _ring_offsets(radius_chunks)
+    )
 
 
 @dataclass(frozen=True)
@@ -106,6 +125,7 @@ class LocalTerrainProvider(TerrainProvider):
         generator: TerrainGenerator,
         workers: int = 2,
         work_ms: float | None = None,
+        executor: "ShardRoundExecutor | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("a local terrain provider needs at least one worker")
@@ -120,6 +140,10 @@ class LocalTerrainProvider(TerrainProvider):
         self._worker_free_at_ms = [0.0] * self.workers
         self._pending = 0
         self._rng = engine.rng("local-terrain")
+        #: optional round executor: chunk content is then computed in a worker
+        #: process between the virtual request and completion times (identical
+        #: bytes — generation is pure in seed and position)
+        self.executor = executor
 
     def request(
         self, position: ChunkPos, callback: Callable[[Chunk, GenerationResult], None]
@@ -133,10 +157,17 @@ class LocalTerrainProvider(TerrainProvider):
         finish = start + duration
         self._worker_free_at_ms[worker_index] = finish
         self._pending += 1
+        task = (
+            self.executor.submit_terrain(self.generator, position)
+            if self.executor is not None
+            else None
+        )
 
         def complete() -> None:
             self._pending -= 1
-            chunk = self.generator.generate_chunk(position)
+            chunk = (
+                task.resolve() if task is not None else self.generator.generate_chunk(position)
+            )
             result = GenerationResult(
                 position=position,
                 latency_ms=finish - now,
@@ -208,10 +239,15 @@ class ChunkManager:
         self._ready: list[_ReadyChunk] = []
         #: pin counts: how many protectors (e.g. constructs) pin each chunk
         self._protected: dict[ChunkPos, int] = {}
-        #: per-player cached (chunk position, required chunk set)
-        self._player_views: dict[int, tuple[ChunkPos, frozenset[ChunkPos]]] = {}
+        #: per-player cached (chunk coordinates, required chunk set)
+        self._player_views: dict[int, tuple[tuple[int, int], frozenset[ChunkPos]]] = {}
         #: reference counts: how many players currently require each chunk
         self._chunk_refcounts: dict[ChunkPos, int] = {}
+        #: required chunks that are not resident (maintained incrementally so
+        #: the steady state — everything loaded — costs nothing per tick)
+        self._unavailable: set[ChunkPos] = set()
+        #: per-center-chunk required set after ownership filtering (per shard)
+        self._required_cache: dict[tuple[int, int], frozenset[ChunkPos]] = {}
         #: chunks already streamed to each player (clients cache terrain)
         self._player_sent: dict[int, set[ChunkPos]] = {}
         #: chunks queued for streaming to each player (sent a few per tick)
@@ -237,6 +273,7 @@ class ChunkManager:
             if not self._owns(position) or self.world.is_loaded(position):
                 continue
             self.world.add_chunk(self.generator.generate_chunk(position))
+            self._unavailable.discard(position)
             loaded += 1
         return loaded
 
@@ -266,6 +303,15 @@ class ChunkManager:
         """Release pins taken by :meth:`protect`; the last release unpins."""
         for position in positions:
             self._decref(self._protected, position)
+
+    def _release_required(self, position: ChunkPos) -> None:
+        """Drop one player's requirement on a chunk, untracking it at zero."""
+        count = self._chunk_refcounts.get(position, 0) - 1
+        if count <= 0:
+            self._chunk_refcounts.pop(position, None)
+            self._unavailable.discard(position)
+        else:
+            self._chunk_refcounts[position] = count
 
     @property
     def protected_chunks(self) -> set[ChunkPos]:
@@ -313,26 +359,44 @@ class ChunkManager:
 
     # -- per-tick update -------------------------------------------------------------------
 
-    def _refresh_player_view(self, avatar: Avatar) -> None:
-        """Update the avatar's required chunk set; cheap unless it crossed a chunk."""
-        current_chunk = block_to_chunk(avatar.position)
-        cached = self._player_views.get(avatar.player_id)
-        if cached is not None and cached[0] == current_chunk:
-            return
+    def _required_for_center(self, center: tuple[int, int]) -> frozenset[ChunkPos]:
+        """The ownership-filtered required set for a player centered on ``center``.
+
+        Players repeatedly revisit the same center chunks, so the filtered
+        set is cached per shard (the ownership region never changes after
+        construction).
+        """
+        cached = self._required_cache.get(center)
+        if cached is not None:
+            return cached
+        ring = _ring_chunks(center[0], center[1], self._view_radius_chunks)
         # In-view chunks outside the ownership region are the neighbor
         # shard's responsibility (a sharded deployment serves them to the
         # client from their owner), so this shard neither loads them nor
         # counts them against its view-range metric.
-        required = frozenset(
-            position
-            for dx, dz in _ring_offsets(self._view_radius_chunks)
-            if self._owns(position := ChunkPos(current_chunk.cx + dx, current_chunk.cz + dz))
-        )
+        if self.region is not None:
+            contains = self.region.contains
+            ring = frozenset(position for position in ring if contains(position))
+        self._required_cache[center] = ring
+        return ring
+
+    def _refresh_player_view(self, avatar: Avatar) -> None:
+        """Update the avatar's required chunk set; cheap unless it crossed a chunk."""
+        position = avatar.position
+        current_chunk = (position.x // CHUNK_SIZE, position.z // CHUNK_SIZE)
+        cached = self._player_views.get(avatar.player_id)
+        if cached is not None and cached[0] == current_chunk:
+            return
+        required = self._required_for_center(current_chunk)
         old_required = cached[1] if cached is not None else frozenset()
+        refcounts = self._chunk_refcounts
         for position in required - old_required:
-            self._chunk_refcounts[position] = self._chunk_refcounts.get(position, 0) + 1
+            count = refcounts.get(position, 0)
+            refcounts[position] = count + 1
+            if count == 0 and not self.world.is_loaded(position):
+                self._unavailable.add(position)
         for position in old_required - required:
-            self._decref(self._chunk_refcounts, position)
+            self._release_required(position)
         self._player_views[avatar.player_id] = (current_chunk, required)
         # Chunks that entered the view and were never sent to this client must
         # be streamed (a few per tick); clients cache terrain, so chunks sent
@@ -358,7 +422,7 @@ class ChunkManager:
         if cached is None:
             return
         for position in cached[1]:
-            self._decref(self._chunk_refcounts, position)
+            self._release_required(position)
 
     def _stream_to_players(self) -> int:
         """Send queued, loaded chunks to clients (a few per player per tick)."""
@@ -384,28 +448,32 @@ class ChunkManager:
         self._tick_counter += 1
         report = ChunkTickReport()
 
-        # 1. Determine required chunks and request missing ones.
+        # 1. Determine required chunks and request missing ones.  The
+        # unavailable set is maintained incrementally, so in the steady state
+        # (everything resident) this step touches nothing.
         for avatar in avatars:
             self._refresh_player_view(avatar)
         required_union = self._chunk_refcounts
-        missing = [
-            position
-            for position in required_union
-            if position not in self._pending and not self.world.is_loaded(position)
-        ]
-        for position in sorted(missing):
-            self._request_chunk(position)
-        report.chunks_requested = len(missing)
+        if self._unavailable:
+            # Prune entries loaded outside the integration path (preloads).
+            is_loaded = self.world.is_loaded
+            self._unavailable = {p for p in self._unavailable if not is_loaded(p)}
+            missing = sorted(self._unavailable - self._pending)
+            for position in missing:
+                self._request_chunk(position)
+            report.chunks_requested = len(missing)
 
         # 2. Integrate ready chunks (bounded per tick).
-        to_integrate = self._ready[: self.max_integrations_per_tick]
-        self._ready = self._ready[self.max_integrations_per_tick:]
-        for ready in to_integrate:
-            if not self.world.is_loaded(ready.chunk.position):
-                self.world.add_chunk(ready.chunk)
-            report.chunks_integrated += 1
-            if ready.result.consumed_local_cpu:
-                report.local_generations_completed += 1
+        if self._ready:
+            to_integrate = self._ready[: self.max_integrations_per_tick]
+            self._ready = self._ready[self.max_integrations_per_tick:]
+            for ready in to_integrate:
+                if not self.world.is_loaded(ready.chunk.position):
+                    self.world.add_chunk(ready.chunk)
+                self._unavailable.discard(ready.chunk.position)
+                report.chunks_integrated += 1
+                if ready.result.consumed_local_cpu:
+                    report.local_generations_completed += 1
 
         # 3. Stream newly visible terrain to clients.
         report.chunks_streamed = self._stream_to_players()
@@ -422,16 +490,21 @@ class ChunkManager:
     def _evict(self, avatars: list[Avatar]) -> int:
         keep: set[ChunkPos] = set(self._protected)
         for avatar in avatars:
-            center = block_to_chunk(avatar.position)
+            position = avatar.position
             keep.update(
-                ChunkPos(center.cx + dx, center.cz + dz)
-                for dx, dz in _ring_offsets(self._keep_radius_chunks)
+                _ring_chunks(
+                    position.x // CHUNK_SIZE,
+                    position.z // CHUNK_SIZE,
+                    self._keep_radius_chunks,
+                )
             )
         evicted = 0
         for position in list(self.world.loaded_chunk_positions):
             if position in keep:
                 continue
             chunk = self.world.remove_chunk(position)
+            if position in self._chunk_refcounts:
+                self._unavailable.add(position)
             evicted += 1
             if self.persist_on_evict and self.storage is not None and chunk.dirty:
                 self.storage.write(position.key(), chunk_to_bytes(chunk))
@@ -440,23 +513,30 @@ class ChunkManager:
     def _view_range(
         self, avatars: list[Avatar], required_union: dict[ChunkPos, int] | set[ChunkPos]
     ) -> float:
-        if not avatars:
+        if not avatars or not self._unavailable:
             return self.view_distance_blocks
-        unavailable = [
-            position
-            for position in required_union
-            if not self.world.is_loaded(position)
-        ]
-        if not unavailable:
-            return self.view_distance_blocks
-        overall = self.view_distance_blocks
-        for avatar in avatars:
-            for chunk_pos in unavailable:
-                origin = chunk_origin(chunk_pos)
-                center = BlockPos(origin.x + 8, avatar.position.y, origin.z + 8)
-                distance = avatar.position.horizontal_distance_to(center)
-                overall = min(overall, distance)
-        return overall
+        # Broadcast avatars against unavailable chunk centers instead of a
+        # Python double loop — this runs every tick while terrain is in flight.
+        centers_x = np.fromiter(
+            (pos.cx * CHUNK_SIZE + 8 for pos in self._unavailable),
+            dtype=np.float64,
+            count=len(self._unavailable),
+        )
+        centers_z = np.fromiter(
+            (pos.cz * CHUNK_SIZE + 8 for pos in self._unavailable),
+            dtype=np.float64,
+            count=len(self._unavailable),
+        )
+        avatars_x = np.fromiter(
+            (avatar.position.x for avatar in avatars), dtype=np.float64, count=len(avatars)
+        )
+        avatars_z = np.fromiter(
+            (avatar.position.z for avatar in avatars), dtype=np.float64, count=len(avatars)
+        )
+        dx = avatars_x[:, None] - centers_x[None, :]
+        dz = avatars_z[:, None] - centers_z[None, :]
+        closest = math.sqrt(float((dx * dx + dz * dz).min()))
+        return min(self.view_distance_blocks, closest)
 
     # -- persistence --------------------------------------------------------------------
 

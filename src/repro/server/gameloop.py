@@ -12,15 +12,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.cluster.parallel import ShardRoundExecutor
 
 from repro.constructs.circuit import SimulatedConstruct
 from repro.net.message import Message, MessageKind
-from repro.server.chunkmanager import ChunkManager, OwnershipRegion
+from repro.server.chunkmanager import ChunkManager, ChunkTickReport, OwnershipRegion
 from repro.server.config import GameConfig
 from repro.server.costmodel import TickCostModel, TickWork
 from repro.server.entities import Avatar
-from repro.server.sc_engine import ConstructBackend
+from repro.server.sc_engine import ConstructBackend, ConstructTickPlan
 from repro.server.session import (
     BroadcastClock,
     PlayerSession,
@@ -54,6 +57,21 @@ class TickRecord:
     constructs: int
     chunks_integrated: int
     view_range_blocks: float
+
+
+@dataclass
+class TickInProgress:
+    """A tick split at the construct-batch boundary (see ``tick_begin``).
+
+    Holds everything ``tick_finish`` needs to complete the tick once the
+    construct plan's pure batch has been stepped — by the server itself, or
+    by a cluster coordinator's round executor.
+    """
+
+    start_ms: float
+    work: TickWork
+    chunk_report: ChunkTickReport
+    construct_plan: ConstructTickPlan
 
 
 class TickLoop:
@@ -121,6 +139,7 @@ class GameServer(TickLoop):
         runtime: Optional[ServerRuntime] = None,
         region: Optional[OwnershipRegion] = None,
         player_ids: Optional[Iterator[int]] = None,
+        executor: Optional["ShardRoundExecutor"] = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -130,6 +149,9 @@ class GameServer(TickLoop):
         self.cost_model = cost_model
         self.storage = storage
         self.name = name
+        #: steps this server's construct batches when set (``--workers`` knob);
+        #: cluster shards leave this None — the coordinator's executor is used
+        self.executor = executor
         #: typed handle to backend-specific services (e.g. ServoRuntime)
         self.runtime = runtime
         #: ownership region when this server is one shard of a cluster
@@ -363,12 +385,14 @@ class GameServer(TickLoop):
 
     # -- the tick -------------------------------------------------------------------------
 
-    def tick(self, advance_clock: bool = True) -> TickRecord:
-        """Execute one simulation tick and advance the virtual clock.
+    def tick_begin(self) -> TickInProgress:
+        """Run the first half of a tick, up to the construct batch.
 
-        A cluster coordinator passes ``advance_clock=False`` so every shard
-        ticks at the same virtual start time; the coordinator then advances
-        the shared clock once by the slowest shard's duration (lockstep).
+        Everything that interacts with shared simulation services (hooks,
+        client messages, chunk management, construct phase 1) runs here, in
+        place; what remains in the returned progress is the construct plan's
+        *pure* batch, which the caller may step anywhere before handing the
+        flags to :meth:`tick_finish`.
         """
         start_ms = self.engine.now_ms
         work = TickWork(players=self.player_count)
@@ -399,8 +423,35 @@ class GameServer(TickLoop):
         work.chunks_streamed = chunk_report.chunks_streamed
         work.loaded_chunks = self.world.loaded_chunk_count
 
-        # 3. Construct simulation.
-        construct_report = self.constructs.tick(self.tick_index)
+        # 3a. Construct simulation, up to the pure batch step.
+        construct_plan = self.constructs.begin_tick(self.tick_index)
+        return TickInProgress(
+            start_ms=start_ms,
+            work=work,
+            chunk_report=chunk_report,
+            construct_plan=construct_plan,
+        )
+
+    def tick_finish(
+        self,
+        progress: TickInProgress,
+        fixed_points: Optional[list[bool]] = None,
+        advance_clock: bool = True,
+    ) -> TickRecord:
+        """Complete a tick started by :meth:`tick_begin`.
+
+        ``fixed_points`` are the construct batch's per-circuit fixed-point
+        flags when the caller stepped the batch itself (a cluster round);
+        ``None`` steps the batch inline.
+        """
+        start_ms = progress.start_ms
+        work = progress.work
+        chunk_report = progress.chunk_report
+        if fixed_points is None:
+            fixed_points = progress.construct_plan.step_inline()
+
+        # 3b. Construct bookkeeping after the batch step.
+        construct_report = progress.construct_plan.finish(fixed_points)
         work.constructs_total = construct_report.total_constructs
         work.constructs_simulated_locally = construct_report.simulated_locally
         work.constructs_merged = construct_report.merged_speculative
@@ -448,6 +499,22 @@ class GameServer(TickLoop):
         if advance_clock:
             self.engine.advance_to(start_ms + max(self.config.tick_interval_ms, duration_ms))
         return record
+
+    def tick(self, advance_clock: bool = True) -> TickRecord:
+        """Execute one simulation tick and advance the virtual clock.
+
+        A cluster coordinator passes ``advance_clock=False`` so every shard
+        ticks at the same virtual start time; the coordinator then advances
+        the shared clock once by the slowest shard's duration (lockstep).
+        The coordinator drives :meth:`tick_begin`/:meth:`tick_finish`
+        directly instead of this method, interposing its round executor at
+        the construct-batch boundary.
+        """
+        progress = self.tick_begin()
+        fixed_points = None
+        if self.executor is not None:
+            fixed_points = self.executor.step_circuits(progress.construct_plan.circuits)
+        return self.tick_finish(progress, fixed_points, advance_clock=advance_clock)
 
     # -- reporting ---------------------------------------------------------------------------
 

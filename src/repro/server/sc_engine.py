@@ -17,9 +17,11 @@ translated into tick time by the cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
+from repro.constructs.batched import BatchedCircuitStepper
 from repro.constructs.circuit import SimulatedConstruct
-from repro.constructs.compiled import compile_circuit
+from repro.constructs.compiled import CompiledCircuit, compile_circuit
 from repro.constructs.simulator import ConstructSimulator
 from repro.constructs.state import ConstructState
 from repro.world.coords import BlockPos
@@ -48,6 +50,33 @@ class ConstructTickReport:
     construct_tick: bool = False
 
 
+@dataclass
+class ConstructTickPlan:
+    """A backend tick split at its pure-compute boundary.
+
+    ``circuits`` is the batch of independent compiled circuits the tick must
+    advance by exactly one step — pure integer compute with no randomness, so
+    a :class:`~repro.cluster.parallel.ShardRoundExecutor` may run it anywhere
+    (inline, scattered over worker processes) as long as the resulting
+    fixed-point flags are handed to ``finish`` in circuit order.  Everything
+    that touches shared simulation state (RNG streams, metrics, speculation
+    records) stays inside ``begin_tick``/``finish`` on the coordinator side.
+    """
+
+    circuits: list[CompiledCircuit]
+    finish: Callable[[list[bool]], ConstructTickReport]
+    #: the backend's own stepper, for inline execution outside a cluster round
+    stepper: Optional[BatchedCircuitStepper] = None
+
+    def step_inline(self) -> list[bool]:
+        """Advance the plan's circuits locally (the non-cluster path)."""
+        if not self.circuits:
+            return []
+        if self.stepper is not None:
+            return self.stepper.step_batch(self.circuits)
+        return [circuit.step() for circuit in self.circuits]
+
+
 class ConstructBackend:
     """Interface the game loop uses to drive construct simulation."""
 
@@ -68,6 +97,16 @@ class ConstructBackend:
         """Advance construct simulation for one game tick."""
         raise NotImplementedError
 
+    def begin_tick(self, tick_index: int) -> ConstructTickPlan:
+        """Split the tick at its pure-compute boundary (see ConstructTickPlan).
+
+        Backends that cannot split simply run the whole tick now and return
+        an empty plan; backends with a batchable step override this so a
+        cluster round can execute the batch through its executor.
+        """
+        report = self.tick(tick_index)
+        return ConstructTickPlan(circuits=[], finish=lambda _flags: report)
+
 
 class LocalConstructBackend(ConstructBackend):
     """Simulate every construct on the server, every ``interval`` ticks.
@@ -85,6 +124,7 @@ class LocalConstructBackend(ConstructBackend):
         self.interval = int(interval)
         self._constructs: dict[int, SimulatedConstruct] = {}
         self._simulator = ConstructSimulator()
+        self._stepper = BatchedCircuitStepper()
         self._groups: list[list[int]] = []
         self._groups_dirty = True
         #: construct ids whose state vector reached a fixed point; they are
@@ -97,6 +137,9 @@ class LocalConstructBackend(ConstructBackend):
         self._constructs[construct.construct_id] = construct
         # Compile eagerly: registration is the cold path, ticks are the hot one.
         compile_circuit(construct)
+        # A re-used construct id (removed, then re-placed) must never inherit
+        # the old construct's fixed-point status.
+        self._quiescent.discard(construct.construct_id)
         self._groups_dirty = True
 
     def remove_construct(self, construct_id: int) -> None:
@@ -147,35 +190,57 @@ class LocalConstructBackend(ConstructBackend):
         # (costs one extra simulated step per group, only after a change).
         self._quiescent.clear()
 
-    def tick(self, tick_index: int) -> ConstructTickReport:
+    def begin_tick(self, tick_index: int) -> ConstructTickPlan:
+        """Phase 1 of the tick: quiescent skips and batch collection.
+
+        Returns the active representatives' circuits as the plan's pure
+        batch; ``finish`` applies the fixed-point flags and propagates the
+        representatives' states to their group members.
+        """
         report = ConstructTickReport(total_constructs=len(self._constructs))
-        if tick_index % self.interval != 0:
-            return report
+        if tick_index % self.interval != 0 or not self._constructs:
+            report.construct_tick = tick_index % self.interval == 0
+            return ConstructTickPlan(circuits=[], finish=lambda _flags: report)
         report.construct_tick = True
-        if not self._constructs:
-            return report
         if self._groups_dirty:
             self._rebuild_groups()
 
         constructs = self._constructs
         quiescent = self._quiescent
+        active_groups: list[list[int]] = []
         for members in self._groups:
-            representative = constructs[members[0]]
             if members[0] in quiescent:
                 # Fixed point: the states are provably what re-simulation
                 # would produce, so only the step counters advance.
+                representative = constructs[members[0]]
                 representative.step += 1
                 for construct_id in members[1:]:
                     constructs[construct_id].step = representative.step
                 report.skipped_quiescent += len(members)
-                continue
-            if compile_circuit(representative).step():
-                quiescent.add(members[0])
-            for construct_id in members[1:]:
-                constructs[construct_id].copy_state_from(representative)
-        # The simulated baseline server does this work for every construct;
-        # the cost model must keep seeing it (virtual time is unchanged by
-        # the host-side skip).
-        report.simulated_locally = len(constructs)
-        report.advanced = len(constructs)
-        return report
+            else:
+                active_groups.append(members)
+        # One vectorised step for every active representative; groups are
+        # independent, so batching them is equivalent to stepping in order.
+        circuits = [
+            compile_circuit(constructs[members[0]]) for members in active_groups
+        ]
+
+        def finish(fixed_points: list[bool]) -> ConstructTickReport:
+            for members, fixed_point in zip(active_groups, fixed_points):
+                if fixed_point:
+                    quiescent.add(members[0])
+                representative = constructs[members[0]]
+                for construct_id in members[1:]:
+                    constructs[construct_id].copy_state_from(representative)
+            # The simulated baseline server does this work for every
+            # construct; the cost model must keep seeing it (virtual time is
+            # unchanged by the host-side skip).
+            report.simulated_locally = len(constructs)
+            report.advanced = len(constructs)
+            return report
+
+        return ConstructTickPlan(circuits=circuits, finish=finish, stepper=self._stepper)
+
+    def tick(self, tick_index: int) -> ConstructTickReport:
+        plan = self.begin_tick(tick_index)
+        return plan.finish(plan.step_inline())

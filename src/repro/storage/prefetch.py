@@ -10,7 +10,10 @@ beyond the view distance).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable
+
+import numpy as np
 
 from repro.world.coords import (
     CHUNK_SIZE,
@@ -18,6 +21,29 @@ from repro.world.coords import (
     ChunkPos,
     chunk_offsets_within_blocks,
 )
+
+#: chunk coordinates are packed into one int64 as ``cx * 2**21 + (cz + 2**20)``
+#: so per-avatar rings become flat integer arrays that numpy can union
+_PACK_BITS = 21
+_PACK_HALF = 1 << 20
+_PACK_MASK = (1 << _PACK_BITS) - 1
+
+
+@lru_cache(maxsize=2048)
+def _packed_offsets(offset_x: int, offset_z: int, radius_blocks: float) -> np.ndarray:
+    """The memoised chunk-offset ring as packed int64 coordinates."""
+    offsets = chunk_offsets_within_blocks(offset_x, offset_z, radius_blocks)
+    return np.fromiter(
+        ((dx << _PACK_BITS) + dz + _PACK_HALF for dx, dz in offsets),
+        dtype=np.int64,
+        count=len(offsets),
+    )
+
+
+def _unpack(packed: np.ndarray) -> frozenset[ChunkPos]:
+    xs = (packed >> _PACK_BITS).tolist()
+    zs = ((packed & _PACK_MASK) - _PACK_HALF).tolist()
+    return frozenset(ChunkPos(x, z) for x, z in zip(xs, zs))
 
 
 @dataclass(frozen=True)
@@ -49,24 +75,24 @@ class DistancePrefetchPolicy:
         """
         view_radius = float(self.view_distance_blocks)
         extended_radius = view_radius + float(self.prefetch_margin_blocks)
-        required_keys: set[tuple[int, int]] = set()
-        extended_keys: set[tuple[int, int]] = set()
+        required_parts: list[np.ndarray] = []
+        extended_parts: list[np.ndarray] = []
         for position in avatar_positions:
-            chunk_x = position.x // CHUNK_SIZE
-            chunk_z = position.z // CHUNK_SIZE
+            base = ((position.x // CHUNK_SIZE) << _PACK_BITS) + (position.z // CHUNK_SIZE)
             offset_x = position.x % CHUNK_SIZE
             offset_z = position.z % CHUNK_SIZE
-            for dx, dz in chunk_offsets_within_blocks(offset_x, offset_z, view_radius):
-                required_keys.add((chunk_x + dx, chunk_z + dz))
-            for dx, dz in chunk_offsets_within_blocks(
-                offset_x, offset_z, extended_radius
-            ):
-                extended_keys.add((chunk_x + dx, chunk_z + dz))
+            required_parts.append(base + _packed_offsets(offset_x, offset_z, view_radius))
+            extended_parts.append(
+                base + _packed_offsets(offset_x, offset_z, extended_radius)
+            )
+        if not required_parts:
+            return PrefetchPlan(required=frozenset(), prefetch=frozenset())
+        required_packed = np.unique(np.concatenate(required_parts))
+        extended_packed = np.unique(np.concatenate(extended_parts))
+        prefetch_packed = np.setdiff1d(extended_packed, required_packed, assume_unique=True)
         return PrefetchPlan(
-            required=frozenset(ChunkPos(x, z) for x, z in required_keys),
-            prefetch=frozenset(
-                ChunkPos(x, z) for x, z in extended_keys - required_keys
-            ),
+            required=_unpack(required_packed),
+            prefetch=_unpack(prefetch_packed),
         )
 
     def eviction_candidates(

@@ -53,15 +53,26 @@ class FlatTerrainGenerator(TerrainGenerator):
 
     world_type = "flat"
 
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._template: np.ndarray | None = None
+
     def generate_chunk(self, position: ChunkPos) -> Chunk:
-        chunk = Chunk(position=position, generated_by=f"flat:{self.seed}")
-        blocks = chunk.blocks
-        blocks[:, 0, :] = int(BlockType.BEDROCK)
-        blocks[:, 1:FLAT_SURFACE_LEVEL - 3, :] = int(BlockType.STONE)
-        blocks[:, FLAT_SURFACE_LEVEL - 3:FLAT_SURFACE_LEVEL, :] = int(BlockType.DIRT)
-        blocks[:, FLAT_SURFACE_LEVEL, :] = int(BlockType.GRASS)
-        chunk.dirty = False
-        return chunk
+        # Every flat chunk has identical contents, so the column layout is
+        # built once and copied — far cheaper than refilling the strata.
+        if self._template is None:
+            template = np.zeros_like(Chunk(position=position).blocks)
+            template[:, 0, :] = int(BlockType.BEDROCK)
+            template[:, 1:FLAT_SURFACE_LEVEL - 3, :] = int(BlockType.STONE)
+            template[:, FLAT_SURFACE_LEVEL - 3:FLAT_SURFACE_LEVEL, :] = int(BlockType.DIRT)
+            template[:, FLAT_SURFACE_LEVEL, :] = int(BlockType.GRASS)
+            self._template = template
+        return Chunk(
+            position=position,
+            blocks=self._template.copy(),
+            generated_by=f"flat:{self.seed}",
+            dirty=False,
+        )
 
     def generation_work_units(self) -> float:
         return 0.1

@@ -1,0 +1,154 @@
+"""Parallel round execution must be invisible in virtual time.
+
+The ``workers`` knob moves a round's pure compute (construct batches, chunk
+content) onto a process pool; everything observable in virtual time — tick
+records, migration schedules, construct states, metrics — must be
+bit-identical for every worker count.  These tests pin that gate: a full
+cluster run at ``workers=1`` vs ``workers=4``, the forced process-pool
+scatter against the serial executor, and the executor factory's validation.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cluster import build_servo_cluster
+from repro.cluster.parallel import (
+    ParallelExecutor,
+    SerialExecutor,
+    ShardRoundExecutor,
+    make_executor,
+)
+from repro.constructs.compiled import compile_circuit
+from repro.constructs.library import build_clock, build_lamp_grid, build_wire_line
+from repro.constructs.simulator import clone_construct
+from repro.server import GameConfig
+from repro.sim import SimulationEngine
+from repro.workload import behaviour_a
+from repro.world.coords import BlockPos, ChunkPos
+from repro.world.serialization import chunk_to_bytes
+from repro.world.terrain import make_terrain_generator
+
+
+def run_cluster(workers: int, seed: int = 1234) -> str:
+    """One short cluster run; returns a hash of everything virtual-time."""
+    engine = SimulationEngine(seed=seed)
+    cluster = build_servo_cluster(
+        engine, GameConfig(world_type="flat"), shards=2, workers=workers
+    )
+    scenario = behaviour_a(players=12, constructs=4, duration_s=4.0)
+    result = scenario.run(cluster)
+
+    hasher = hashlib.sha256()
+    for duration in result.tick_durations_ms:
+        hasher.update(repr(duration).encode("ascii"))
+    for record in cluster.migration_records:
+        hasher.update(repr(record).encode("ascii"))
+    for shard in cluster.shards:
+        for construct in shard.constructs.constructs():
+            hasher.update(str(construct.step).encode("ascii"))
+            hasher.update(construct.snapshot().digest().encode("ascii"))
+    cluster.executor.close()
+    return hasher.hexdigest()
+
+
+def test_workers_1_and_workers_4_produce_identical_runs():
+    assert run_cluster(workers=1) == run_cluster(workers=4)
+
+
+def test_worker_count_never_touches_the_engine_rng_streams():
+    # Two runs at different worker counts must draw identically from every
+    # shared stream; diverging metrics would betray a hidden draw.
+    engine_serial = SimulationEngine(seed=7)
+    cluster_serial = build_servo_cluster(
+        engine_serial, GameConfig(world_type="flat"), shards=2, workers=1
+    )
+    engine_parallel = SimulationEngine(seed=7)
+    cluster_parallel = build_servo_cluster(
+        engine_parallel, GameConfig(world_type="flat"), shards=2, workers=2
+    )
+    for cluster in (cluster_serial, cluster_parallel):
+        scenario = behaviour_a(players=8, constructs=2, duration_s=2.0)
+        scenario.run(cluster)
+        cluster.executor.close()
+    assert (
+        engine_serial.metrics.histogram("cluster_round_ms").samples
+        == engine_parallel.metrics.histogram("cluster_round_ms").samples
+    )
+
+
+# -- the executor layer directly -------------------------------------------------------
+
+
+def make_fleet():
+    fleet = []
+    for index, period in enumerate((4, 6, 8, 10)):
+        fleet.append(build_clock(period=period, origin=BlockPos(index * 32, 64, 0)))
+    for index, length in enumerate((5, 9, 13)):
+        fleet.append(
+            build_wire_line(length, BlockPos(index * 32, 64, 64), powered=True)
+        )
+    fleet.append(build_lamp_grid(4, 3, BlockPos(0, 64, 128)))
+    return fleet
+
+
+def test_forced_pool_scatter_is_bit_identical_to_serial():
+    serial_fleet = make_fleet()
+    pool_fleet = [clone_construct(construct) for construct in serial_fleet]
+    serial = SerialExecutor()
+    # Force the pool even on single-core hosts and below the normal
+    # scatter threshold, so the worker round-trip itself is exercised.
+    pool = ParallelExecutor(2, min_circuits_to_scatter=2, use_pool=True)
+    try:
+        for _ in range(50):
+            serial_flags = serial.step_circuits(
+                [compile_circuit(construct) for construct in serial_fleet]
+            )
+            pool_flags = pool.step_circuits(
+                [compile_circuit(construct) for construct in pool_fleet]
+            )
+            assert serial_flags == pool_flags
+        for construct, clone in zip(serial_fleet, pool_fleet):
+            assert construct.step == clone.step
+            assert construct.snapshot().digest() == clone.snapshot().digest()
+    finally:
+        pool.close()
+
+
+def test_pooled_terrain_task_produces_identical_chunk_bytes():
+    generator = make_terrain_generator("default", seed=7)
+    pool = ParallelExecutor(2, use_pool=True)
+    try:
+        task = pool.submit_terrain(generator, ChunkPos(3, -2))
+        assert chunk_to_bytes(task.resolve()) == chunk_to_bytes(
+            generator.generate_chunk(ChunkPos(3, -2))
+        )
+    finally:
+        pool.close()
+
+
+def test_make_executor_validation_and_types():
+    assert isinstance(make_executor(1), SerialExecutor)
+    parallel = make_executor(4)
+    assert isinstance(parallel, ParallelExecutor)
+    assert parallel.workers == 4
+    assert isinstance(parallel, ShardRoundExecutor)
+    parallel.close()
+    with pytest.raises(ValueError):
+        make_executor(0)
+    with pytest.raises(ValueError):
+        make_executor(-2)
+    with pytest.raises(ValueError):
+        ParallelExecutor(1)
+
+
+def test_empty_and_tiny_batches_stay_inline():
+    pool = ParallelExecutor(2, use_pool=True)
+    try:
+        assert pool.step_circuits([]) == []
+        construct = build_clock(period=4)
+        flags = pool.step_circuits([compile_circuit(construct)])
+        assert flags == [False]
+        assert pool._pool is None, "sub-threshold batches must not spin up the pool"
+    finally:
+        pool.close()
