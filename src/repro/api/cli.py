@@ -76,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, help="simulation seed")
     run.add_argument("--duration-s", type=float, help="measured virtual seconds")
     run.add_argument("--warmup-s", type=float, help="warm-up virtual seconds")
+    run.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="fault plan: a JSON file path, inline JSON (starts with '{'), or "
+        "'none' to disable the scenario's own faults",
+    )
     run.add_argument("--json", metavar="PATH", help="write the full RunResult JSON here")
     run.set_defaults(handler=_cmd_run)
 
@@ -134,6 +140,21 @@ def build_parser() -> argparse.ArgumentParser:
 # -- command handlers ---------------------------------------------------------------------
 
 
+def _faults_from_arg(raw: str) -> dict:
+    """Parse a ``--faults`` value: inline JSON, 'none', or a JSON file path."""
+    stripped = raw.strip()
+    if stripped == "none":
+        return {}  # the empty plan explicitly disables the scenario's faults
+    if stripped.startswith("{"):
+        plan = json.loads(stripped)
+    else:
+        with open(raw, "r", encoding="utf-8") as handle:
+            plan = json.load(handle)
+    if not isinstance(plan, dict):
+        raise ValueError(f"--faults must hold a JSON object, got {type(plan).__name__}")
+    return plan
+
+
 def _spec_dict_from_args(args: argparse.Namespace) -> dict:
     """Merge the spec file (if any) with the flag overrides."""
     data: dict = {}
@@ -169,6 +190,8 @@ def _spec_dict_from_args(args: argparse.Namespace) -> dict:
     ):
         if value is not None:
             data[key] = value
+    if args.faults is not None:
+        data["faults"] = _faults_from_arg(args.faults)
 
     if game_config:
         host["game_config"] = game_config

@@ -47,6 +47,10 @@ def run_spec(spec: Union[RunSpec, dict, str, os.PathLike]) -> RunResult:
         overrides["duration_s"] = spec.duration_s
     if spec.warmup_s is not None:
         overrides["warmup_s"] = spec.warmup_s
+    if spec.faults is not None:
+        # A spec-level plan replaces the scenario's own; an explicit {} turns
+        # the scenario's faults off (the empty plan installs nothing).
+        overrides["faults"] = spec.faults
     if overrides:
         scenario = dataclasses.replace(scenario, **overrides)
 

@@ -190,7 +190,7 @@ class WorkloadSpec:
 class RunSpec:
     """A complete, serializable description of one run."""
 
-    KEYS = frozenset({"host", "workload", "seed", "duration_s", "warmup_s"})
+    KEYS = frozenset({"host", "workload", "seed", "duration_s", "warmup_s", "faults"})
 
     host: HostSpec
     workload: WorkloadSpec
@@ -199,6 +199,9 @@ class RunSpec:
     duration_s: Optional[float] = None
     #: overrides the scenario's warm-up duration when set
     warmup_s: Optional[float] = None
+    #: fault-plan overrides (see :mod:`repro.faults.plan`); None inherits the
+    #: scenario's plan, ``{}`` explicitly disables faults (the empty plan)
+    faults: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.seed, bool) or not isinstance(self.seed, int):
@@ -213,6 +216,13 @@ class RunSpec:
             _require_number(self.warmup_s, "warmup_s")
             if self.warmup_s < 0:
                 raise ValueError(f"warmup_s must be non-negative, got {self.warmup_s!r}")
+        if self.faults is not None:
+            _require_mapping(self.faults, "faults")
+            # Validate eagerly (unknown keys, bad rates) but store the plain
+            # dict so the spec round-trips losslessly.
+            from repro.faults.plan import FaultPlan
+
+            FaultPlan.from_dict(self.faults)
 
     # -- serialization --------------------------------------------------------------
 
@@ -229,6 +239,7 @@ class RunSpec:
             seed=data.get("seed", 42),
             duration_s=data.get("duration_s"),
             warmup_s=data.get("warmup_s"),
+            faults=data.get("faults"),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -241,6 +252,8 @@ class RunSpec:
             out["duration_s"] = self.duration_s
         if self.warmup_s is not None:
             out["warmup_s"] = self.warmup_s
+        if self.faults is not None:
+            out["faults"] = dict(self.faults)
         return out
 
     @classmethod

@@ -57,19 +57,27 @@ def build_servo_cluster(
     platform = make_servo_platform(engine, servo_config, executor=executor)
     blob = make_servo_blob(engine, servo_config)
     player_ids = itertools.count(1)
-    servers = [
-        build_servo_server(
+
+    def shard_factory(zone: int, generation: int) -> "GameServer":
+        """A (replacement) shard for ``zone``; generation 0 is the original.
+
+        Replacements share the cluster's platform, blob store and player-id
+        iterator, exactly like the originals — a respawned shard rejoins the
+        same serverless substrate the crashed one used.
+        """
+        suffix = f"-r{generation}" if generation else ""
+        return build_servo_server(
             engine,
             game_config,
             servo_config,
             platform=platform,
             blob=blob,
-            name=f"servo-shard-{zone}",
+            name=f"servo-shard-{zone}{suffix}",
             region=partitioner.region(zone),
             player_ids=player_ids,
         )
-        for zone in range(partitioner.shard_count)
-    ]
+
+    servers = [shard_factory(zone, 0) for zone in range(partitioner.shard_count)]
     return ClusterCoordinator(
         engine=engine,
         shards=servers,
@@ -78,6 +86,7 @@ def build_servo_cluster(
         session_store=blob,
         name="servo-cluster",
         executor=executor,
+        shard_factory=shard_factory,
     )
 
 
@@ -95,18 +104,23 @@ def build_opencraft_cluster(
     executor = make_executor(workers)
     shared_disk = LocalDiskStorage(rng=engine.rng("cluster-disk"))
     player_ids = itertools.count(1)
-    servers = [
-        ServerBuilder(engine, game_config, name=f"opencraft-shard-{zone}")
-        .with_cost_model(OPENCRAFT_COST_MODEL)
-        .with_storage(shared_disk)
-        .with_region(partitioner.region(zone))
-        .with_player_ids(player_ids)
-        # Shards share the coordinator's executor (terrain content may come
-        # from the pool); in cluster rounds the coordinator drives stepping.
-        .with_executor(executor)
-        .build()
-        for zone in range(partitioner.shard_count)
-    ]
+
+    def shard_factory(zone: int, generation: int) -> "GameServer":
+        suffix = f"-r{generation}" if generation else ""
+        return (
+            ServerBuilder(engine, game_config, name=f"opencraft-shard-{zone}{suffix}")
+            .with_cost_model(OPENCRAFT_COST_MODEL)
+            .with_storage(shared_disk)
+            .with_region(partitioner.region(zone))
+            .with_player_ids(player_ids)
+            # Shards share the coordinator's executor (terrain content may
+            # come from the pool); in cluster rounds the coordinator drives
+            # stepping.
+            .with_executor(executor)
+            .build()
+        )
+
+    servers = [shard_factory(zone, 0) for zone in range(partitioner.shard_count)]
     return ClusterCoordinator(
         engine=engine,
         shards=servers,
@@ -115,4 +129,5 @@ def build_opencraft_cluster(
         session_store=shared_disk,
         name="opencraft-cluster",
         executor=executor,
+        shard_factory=shard_factory,
     )

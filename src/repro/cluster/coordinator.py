@@ -20,10 +20,14 @@ player keeps its id, avatar state and pending messages across the handoff.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.cluster.parallel import SerialExecutor, ShardRoundExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import ShardKill
 from repro.cluster.partition import WorldPartitioner
 from repro.constructs.circuit import SimulatedConstruct
 from repro.net.message import Message
@@ -33,6 +37,38 @@ from repro.server.session import PlayerSession, restore_avatar_state, snapshot_s
 from repro.sim.engine import SimulationEngine
 from repro.storage.base import StorageBackend
 from repro.world.coords import BlockPos
+
+
+@dataclass(frozen=True)
+class ShardRecoveryRecord:
+    """One completed shard crash-recovery cycle (kill through respawn)."""
+
+    shard_index: int
+    shard_name: str
+    killed_round: int
+    killed_ms: float
+    respawned_round: int
+    respawned_ms: float
+    #: rounds the zone was down — the recovery's MTTR, in ticks
+    downtime_rounds: int
+    sessions_recovered: int
+    sessions_lost: int
+    #: queued-but-unprocessed client messages that died with the shard
+    messages_lost: int
+    constructs_recovered: int
+    #: player-ticks not served while the zone was down
+    lost_player_ticks: int
+
+
+@dataclass
+class _DeadShard:
+    """Book-keeping for a killed shard awaiting respawn."""
+
+    kill: "ShardKill"
+    shard_name: str
+    killed_round: int
+    killed_ms: float
+    lost_player_ticks: int = field(default=0)
 
 
 @dataclass(frozen=True)
@@ -131,6 +167,7 @@ class ClusterCoordinator(TickLoop):
         name: str = "cluster",
         boundary_spawn_every: int = 4,
         executor: Optional[ShardRoundExecutor] = None,
+        shard_factory: Optional[Callable[[int, int], GameServer]] = None,
     ) -> None:
         if len(shards) != partitioner.shard_count:
             raise ValueError(
@@ -157,6 +194,16 @@ class ClusterCoordinator(TickLoop):
         self._players_connected = 0
         self._round_robin = 0
         self._construct_homes: dict[int, int] = {}
+        #: builds a replacement shard for (zone, generation); required for
+        #: shard crash-recovery (the registered cluster assemblies provide it)
+        self.shard_factory = shard_factory
+        #: supplies scheduled shard kills; set by installing a fault plan
+        self.fault_injector: Optional["FaultInjector"] = None
+        #: callbacks run on every respawned shard (fault wiring re-attachment)
+        self.shard_wirers: list[Callable[[GameServer], None]] = []
+        self._dead: dict[int, _DeadShard] = {}
+        self._generations: dict[int, int] = {}
+        self.recovery_records: list[ShardRecoveryRecord] = []
 
     # -- cluster shape ---------------------------------------------------------------
 
@@ -199,10 +246,28 @@ class ClusterCoordinator(TickLoop):
         self._round_robin += 1
         return zone, self.partitioner.zone_spawn(zone, base)
 
+    def _shard_alive(self, zone: int) -> bool:
+        return zone not in self._dead
+
+    def _next_alive_zone(self, zone: int) -> int:
+        """The first alive zone at or after ``zone`` (wrapping)."""
+        for offset in range(self.shard_count):
+            candidate = (zone + offset) % self.shard_count
+            if self._shard_alive(candidate):
+                return candidate
+        raise RuntimeError("every shard of the cluster is down")
+
     def connect_player(self, name: str | None = None) -> ClusterSession:
-        """Connect a player to the shard owning its (spread) spawn position."""
+        """Connect a player to the shard owning its (spread) spawn position.
+
+        While a zone's shard is down, players bound for it spawn on the next
+        alive zone instead (they migrate home once the zone respawns).
+        """
         zone, position = self._next_spawn()
         self._players_connected += 1
+        if not self._shard_alive(zone):
+            zone = self._next_alive_zone(zone)
+            position = self.partitioner.zone_spawn(zone, self.config.spawn_position)
         session = self.shards[zone].connect_player(name, position=position)
         proxy = ClusterSession(session, shard_index=zone)
         self.sessions[proxy.player_id] = proxy
@@ -236,6 +301,11 @@ class ClusterCoordinator(TickLoop):
     # -- migration -------------------------------------------------------------------
 
     def _migrate(self, proxy: ClusterSession, target_zone: int) -> None:
+        if proxy.disconnected or proxy._session.disconnected:
+            # The player disconnected under the migration's feet (e.g. between
+            # rounds); migrating a dead session would resurrect it on the
+            # target shard.
+            return
         source = self.shards[proxy.shard_index]
         target = self.shards[target_zone]
         old_session = proxy._session
@@ -278,10 +348,15 @@ class ClusterCoordinator(TickLoop):
     def _migrate_crossed_players(self) -> int:
         migrated = 0
         for proxy in list(self.sessions.values()):
-            if proxy.disconnected:
+            if proxy.disconnected or not self._shard_alive(proxy.shard_index):
                 continue
             target_zone = self.partitioner.zone_of_block(proxy.avatar.position)
             if target_zone != proxy.shard_index:
+                if not self._shard_alive(target_zone):
+                    # The owning shard is down: the player stays where it is
+                    # and the handoff is retried once the zone respawns.
+                    self.engine.metrics.increment("migrations_deferred")
+                    continue
                 self._migrate(proxy, target_zone)
                 migrated += 1
         return migrated
@@ -289,6 +364,126 @@ class ClusterCoordinator(TickLoop):
     @property
     def migration_count(self) -> int:
         return len(self.migration_records)
+
+    # -- shard crash-recovery --------------------------------------------------------
+
+    def _apply_shard_faults(self) -> None:
+        """Apply due respawns, then due kills (polled at round boundaries).
+
+        Kills never fire mid-round: a shard dies *between* rounds, exactly at
+        a virtual round boundary, which keeps two same-seed runs' fault
+        timelines identical.
+        """
+        now_ms = self.engine.now_ms
+        for slot, dead in sorted(self._dead.items()):
+            if now_ms >= dead.killed_ms + dead.kill.respawn_after_ms:
+                self._respawn_shard(slot, dead)
+        for kill in self.fault_injector.shard_kills_due(now_ms):
+            self._kill_shard(kill)
+
+    def _kill_shard(self, kill: "ShardKill") -> None:
+        slot = kill.shard
+        injector = self.fault_injector
+        if slot >= self.shard_count or slot in self._dead:
+            injector.record("shard.kill.ignored", f"shard={slot} reason=unknown-or-dead")
+            return
+        if len(self._dead) + 1 >= self.shard_count:
+            # Refusing to kill the last alive shard keeps the cluster able to
+            # serve (and eventually recover) its players.
+            injector.record("shard.kill.ignored", f"shard={slot} reason=last-alive")
+            return
+        if self.shard_factory is None:
+            raise RuntimeError(
+                "shard kills require a cluster built with a shard_factory "
+                "(the registered cluster assemblies provide one)"
+            )
+        shard = self.shards[slot]
+        self._dead[slot] = _DeadShard(
+            kill=kill,
+            shard_name=shard.name,
+            killed_round=self.round_index,
+            killed_ms=self.engine.now_ms,
+        )
+        self.engine.metrics.increment("shard_kills")
+        injector.record("shard.kill", f"shard={slot} name={shard.name}")
+
+    def _respawn_shard(self, slot: int, dead: _DeadShard) -> None:
+        """Bring up a replacement shard and evacuate the dead one into it.
+
+        Every session stranded on the dead shard is recovered through the
+        same snapshot/restore protocol an ordinary cross-shard migration
+        uses: serialize the session, round-trip it through the shared session
+        store, reconnect on the replacement, restore the avatar state, rebind
+        the client-facing proxy.  The zone's constructs are re-registered on
+        the replacement (their state survives in the shared world/blob
+        state); queued-but-unprocessed client messages died with the shard
+        and are counted as lost.
+        """
+        del self._dead[slot]
+        generation = self._generations[slot] = self._generations.get(slot, 0) + 1
+        old = self.shards[slot]
+        replacement = self.shard_factory(slot, generation)
+        for wire in self.shard_wirers:
+            wire(replacement)
+        self.shards[slot] = replacement
+
+        constructs_recovered = 0
+        for construct in old.constructs.constructs():
+            replacement.place_construct(construct)
+            constructs_recovered += 1
+
+        recovered = 0
+        messages_lost = 0
+        for proxy in self.sessions.values():
+            if proxy.disconnected or proxy.shard_index != slot:
+                continue
+            old_session = proxy._session
+            messages_lost += len(old_session.drain())
+            old_session.disconnected = True
+            old_session.detach_broadcast_clock()
+            position = old_session.avatar.position
+            state = snapshot_session(old_session)
+            if self.session_store is not None:
+                key = f"session_{proxy.name}"
+                write_op = self.session_store.write(key, state)
+                read_op = self.session_store.read(key)
+                state = read_op.data or state
+            session = replacement.connect_player(
+                proxy.name, position=position, player_id=proxy.player_id, restore=False
+            )
+            restore_avatar_state(session.avatar, state, restore_position=False)
+            proxy._rebind(session, slot)
+            recovered += 1
+
+        downtime_rounds = self.round_index - dead.killed_round
+        record = ShardRecoveryRecord(
+            shard_index=slot,
+            shard_name=dead.shard_name,
+            killed_round=dead.killed_round,
+            killed_ms=dead.killed_ms,
+            respawned_round=self.round_index,
+            respawned_ms=self.engine.now_ms,
+            downtime_rounds=downtime_rounds,
+            sessions_recovered=recovered,
+            sessions_lost=0,
+            messages_lost=messages_lost,
+            constructs_recovered=constructs_recovered,
+            lost_player_ticks=dead.lost_player_ticks,
+        )
+        self.recovery_records.append(record)
+        metrics = self.engine.metrics
+        metrics.histogram("shard_mttr_ticks").record(downtime_rounds)
+        metrics.increment("shards_recovered")
+        metrics.increment("sessions_recovered", recovered)
+        if messages_lost:
+            metrics.increment("shard_messages_lost", messages_lost)
+        if dead.lost_player_ticks:
+            metrics.increment("lost_player_ticks", dead.lost_player_ticks)
+        self.fault_injector.record(
+            "shard.respawn",
+            f"shard={slot} name={replacement.name} sessions={recovered} "
+            f"mttr_ticks={downtime_rounds}",
+        )
 
     # -- the lockstep round ----------------------------------------------------------
 
@@ -303,10 +498,22 @@ class ClusterCoordinator(TickLoop):
         handed to the round executor, which may scatter it across worker
         processes without touching the draw order.
         """
+        if self.fault_injector is not None:
+            self._apply_shard_faults()
         start_ms = self.engine.now_ms
         executor = self.executor
         shard_records = []
         for slot, shard in enumerate(self.shards):
+            dead = self._dead.get(slot)
+            if dead is not None:
+                # A dead zone serves nobody this round; its stranded players'
+                # unserved ticks are the outage's lost player-ticks.
+                dead.lost_player_ticks += sum(
+                    1
+                    for proxy in self.sessions.values()
+                    if not proxy.disconnected and proxy.shard_index == slot
+                )
+                continue
             progress = shard.tick_begin()
             fixed_points = executor.step_circuits(
                 progress.construct_plan.circuits, slot=slot
@@ -316,7 +523,10 @@ class ClusterCoordinator(TickLoop):
             )
         self._migrate_crossed_players()
 
-        duration_ms = max(record.duration_ms for record in shard_records)
+        if shard_records:
+            duration_ms = max(record.duration_ms for record in shard_records)
+        else:  # pragma: no cover - kills never take the last alive shard
+            duration_ms = self.config.tick_interval_ms
         record = TickRecord(
             index=self.round_index,
             start_ms=start_ms,
@@ -324,7 +534,9 @@ class ClusterCoordinator(TickLoop):
             players=sum(r.players for r in shard_records),
             constructs=sum(r.constructs for r in shard_records),
             chunks_integrated=sum(r.chunks_integrated for r in shard_records),
-            view_range_blocks=min(r.view_range_blocks for r in shard_records),
+            view_range_blocks=min(
+                (r.view_range_blocks for r in shard_records), default=0.0
+            ),
         )
         self.tick_records.append(record)
         self.engine.metrics.histogram("cluster_round_ms").record(duration_ms)

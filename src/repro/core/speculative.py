@@ -231,7 +231,9 @@ class SpeculativeConstructBackend(ConstructBackend):
             steps=self.config.steps_per_invocation,
             detect_loops=self.config.enable_loop_detection,
         )
-        invocation = self.platform.invoke(self.function_name, request)
+        # With a fault plan installed the platform answers injected failures
+        # with retry/backoff; without one this is a plain invoke.
+        invocation = self.platform.invoke_with_retry(self.function_name, request)
         record.pending = _PendingInvocation(invocation=invocation, request=request)
         record.invocations_issued += 1
         self.metrics.increment("offload_invocations")
@@ -246,8 +248,12 @@ class SpeculativeConstructBackend(ConstructBackend):
             return
         record.pending = None
         reply = pending.invocation.result
-        if pending.invocation.timed_out or not isinstance(reply, OffloadReply):
+        if pending.invocation.status != "ok" or not isinstance(reply, OffloadReply):
+            # The invocation (and its retries, if any) produced nothing: the
+            # construct keeps advancing on the local-fallback path until the
+            # follow-up invocation issued in this tick's phase 3 delivers.
             self.metrics.increment("offload_failures")
+            self.metrics.increment("offload_local_fallbacks")
             return
 
         efficiency = (

@@ -95,16 +95,29 @@ class ServerlessTerrainProvider(TerrainProvider):
         world_type: str,
         seed: int,
         function_name: str = TERRAIN_GENERATION_FUNCTION,
+        max_attempts: int = 3,
     ) -> None:
         self.engine = engine
         self.platform = platform
         self.world_type = world_type
         self.seed = int(seed)
         self.function_name = function_name
+        #: invocation attempts per chunk before generating locally instead
+        self.max_attempts = int(max_attempts)
         self._pending = 0
+        self._local_generator: Optional[TerrainGenerator] = None
+
+    def _generate_locally(self, position: ChunkPos) -> Chunk:
+        """Last-resort local generation: pure, so the chunk is identical."""
+        if self._local_generator is None:
+            self._local_generator = make_terrain_generator(self.world_type, seed=self.seed)
+        return self._local_generator.generate_chunk(position)
 
     def request(
-        self, position: ChunkPos, callback: Callable[[Chunk, GenerationResult], None]
+        self,
+        position: ChunkPos,
+        callback: Callable[[Chunk, GenerationResult], None],
+        _attempt: int = 1,
     ) -> None:
         payload = TerrainRequest(
             world_type=self.world_type, seed=self.seed, cx=position.cx, cz=position.cz
@@ -118,9 +131,26 @@ class ServerlessTerrainProvider(TerrainProvider):
                 # The handler deferred generation to a worker process; the
                 # chunk is (at worst: becomes) ready now, at completion time.
                 chunk = chunk.resolve()
-            if invocation.timed_out or not isinstance(chunk, Chunk):
-                # Retry once on failure; terrain must eventually arrive.
-                self.request(position, callback)
+            if invocation.status != "ok" or not isinstance(chunk, Chunk):
+                # A timed-out (or failed/throttled) invocation delivers None
+                # where a chunk is expected: count it, retry a bounded number
+                # of times, then fall back to local generation — terrain must
+                # eventually arrive, but never by retrying forever.
+                self.engine.metrics.increment("terrain_generation_failures")
+                if _attempt < self.max_attempts:
+                    self.engine.metrics.increment("terrain_generation_retries")
+                    self.request(position, callback, _attempt=_attempt + 1)
+                    return
+                self.engine.metrics.increment("terrain_local_fallbacks")
+                callback(
+                    self._generate_locally(position),
+                    GenerationResult(
+                        position=position,
+                        latency_ms=invocation.latency_ms,
+                        source="local-fallback",
+                        consumed_local_cpu=True,
+                    ),
+                )
                 return
             callback(
                 chunk,

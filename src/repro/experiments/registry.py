@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.api.registry import unknown_name_error
+from repro.experiments.availability import format_availability, run_availability
 from repro.experiments.cluster_scalability import (
     format_cluster_scalability,
     run_cluster_scalability,
@@ -64,6 +65,12 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
     "fig13": ExperimentEntry("fig13", "Terrain retrieval latency with caching", run_fig13, format_fig13),
     "sec4g": ExperimentEntry("sec4g", "Construct simulation rate by size", run_sec4g, format_sec4g),
     "tab01": ExperimentEntry("tab01", "Experiment overview", run_tab01, format_tab01),
+    "availability": ExperimentEntry(
+        "availability",
+        "Shard-failure recovery: MTTR, sessions recovered, lost work (beyond the paper)",
+        run_availability,
+        format_availability,
+    ),
     "cluster": ExperimentEntry(
         "cluster",
         "Aggregate max players of zone-partitioned clusters (beyond the paper)",

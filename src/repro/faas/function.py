@@ -59,6 +59,11 @@ class Invocation:
     timed_out: bool
     memory_mb: int
     result: Any = field(default=None)
+    #: "ok", "timeout", "failure" (function error) or "throttled" (rejected
+    #: at the control plane); anything but "ok" means ``result`` is None
+    status: str = "ok"
+    #: attempts behind this record (> 1 only for retry aggregates)
+    attempts: int = 1
 
     @property
     def overhead_ms(self) -> float:

@@ -1,0 +1,58 @@
+"""Graceful degradation: shed broadcast work instead of falling behind.
+
+When a shard's tick blows its budget, the next tick skips the state-update
+broadcast for a configurable fraction of its players (the dominant per-player
+cost) until a tick lands back under budget.  This is bounded inconsistency in
+the dyconit sense: a subset of observers receives a stale tick, but the shard
+keeps its tick rate — degradation instead of collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.faults.plan import DegradationPolicy
+from repro.sim.metrics import MetricRegistry
+
+
+class DegradationController:
+    """Per-server shed decision, driven by the previous tick's duration."""
+
+    def __init__(
+        self,
+        policy: DegradationPolicy,
+        metrics: MetricRegistry,
+        record: Optional[Callable[[str, str], None]] = None,
+        server_name: str = "server",
+    ) -> None:
+        self.policy = policy
+        self.metrics = metrics
+        self.server_name = server_name
+        self._record = record
+        self._over_budget = False
+        #: ticks in which this controller shed at least one broadcast
+        self.shedding_ticks = 0
+        #: total broadcast updates shed over the controller's lifetime
+        self.updates_shed = 0
+
+    @property
+    def shedding(self) -> bool:
+        """True while the server is over budget (the next tick will shed)."""
+        return self._over_budget
+
+    def shed_count(self, players: int) -> int:
+        """How many players' broadcasts to shed this tick (0 when under budget)."""
+        if not self._over_budget or players <= 0:
+            return 0
+        shed = int(players * self.policy.shed_fraction)
+        if shed > 0:
+            self.shedding_ticks += 1
+            self.updates_shed += shed
+            self.metrics.increment("broadcast_updates_shed", shed)
+            if self._record is not None:
+                self._record("degradation.shed", f"{self.server_name} players={shed}")
+        return shed
+
+    def observe(self, duration_ms: float) -> None:
+        """Feed back the tick's duration; decides whether the next tick sheds."""
+        self._over_budget = duration_ms > self.policy.budget_ms

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any
+from typing import Any, Optional
 
 
 class MessageKind(Enum):
@@ -31,6 +31,10 @@ class Message:
     kind: MessageKind
     player_id: int
     payload: dict[str, Any] = field(default_factory=dict)
+    #: per-player wire sequence number, stamped by the message channel when a
+    #: fault plan is active; None for messages that never crossed the channel.
+    #: Deliveries are deduplicated on it (idempotent update application).
+    sequence: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.player_id < 0:

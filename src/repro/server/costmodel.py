@@ -52,6 +52,8 @@ class TickWork:
     loaded_chunks: int = 0
     #: True when this tick is one of the every-N construct simulation ticks
     construct_tick: bool = False
+    #: players whose state-update broadcast was shed (graceful degradation)
+    broadcast_players_shed: int = 0
 
 
 @dataclass(frozen=True)
@@ -93,7 +95,7 @@ class TickCostModel:
     def duration_ms(self, work: TickWork, rng: np.random.Generator) -> float:
         """The virtual duration of a tick that performed ``work``."""
         duration = self.base_ms
-        duration += self.per_player_ms * work.players
+        duration += self.per_player_ms * (work.players - work.broadcast_players_shed)
         duration += self.per_action_ms * work.actions
         if work.constructs_simulated_locally > 0:
             duration += self.construct_cost(work.constructs_simulated_locally)

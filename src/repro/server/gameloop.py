@@ -179,6 +179,12 @@ class GameServer(TickLoop):
         #: hooks called at the start of every tick (used by Servo services)
         self.pre_tick_hooks: list[Callable[[int], None]] = []
         self.tick_records: list[TickRecord] = []
+        #: lossy client-message channel, set when a fault plan has net faults
+        self.message_channel = None
+        #: graceful-degradation controller, set when a fault plan enables it
+        self.degradation = None
+        #: the run's fault injector (timeline access), set when faults install
+        self.fault_injector = None
 
     @property
     def servo(self) -> Optional[ServerRuntime]:
@@ -226,6 +232,8 @@ class GameServer(TickLoop):
         )
         session.attach_broadcast_clock(self._broadcast_clock)
         session.attach_pending_index(self._pending_messages)
+        if self.message_channel is not None:
+            session.attach_channel(self.message_channel)
         self.sessions[player_id] = session
         self.stats.players_connected_total += 1
         if self.storage is not None and restore:
@@ -471,7 +479,13 @@ class GameServer(TickLoop):
             self._last_persist_ms = start_ms
 
         # 6. Account the tick's virtual duration and advance the clock.
+        # Graceful degradation: when the previous tick blew the budget, shed
+        # part of this tick's broadcast work before costing the tick.
+        if self.degradation is not None:
+            work.broadcast_players_shed = self.degradation.shed_count(work.players)
         duration_ms = self.cost_model.duration_ms(work, self._rng)
+        if self.degradation is not None:
+            self.degradation.observe(duration_ms)
         metrics = self.engine.metrics
         metrics.histogram("tick_duration_ms").record(duration_ms)
         if self.region is not None:

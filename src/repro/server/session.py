@@ -56,6 +56,8 @@ class PlayerSession:
     _broadcast_attach_ticks: int = 0
     #: ordered index of player ids with queued messages, shared with the server
     _pending_index: Optional[dict[int, None]] = None
+    #: lossy message channel (fault injection); None means a perfect wire
+    _channel: Optional[object] = None
 
     # -- outbound accounting ---------------------------------------------------------
 
@@ -92,14 +94,28 @@ class PlayerSession:
         if self._inbox:
             index[self.player_id] = None
 
+    def attach_channel(self, channel: object) -> None:
+        """Route future client messages through a (lossy) message channel."""
+        self._channel = channel
+
     def enqueue(self, message: Message) -> None:
-        """Queue a client message for processing in the next tick."""
+        """Queue a client message for processing in the next tick.
+
+        With a fault channel attached, fresh client messages (no ``sequence``
+        stamp yet) go through the channel, which may drop, duplicate or delay
+        them; stamped messages — channel deliveries and server-internal
+        requeues such as a migration handing over undrained messages — are
+        appended directly, so they are never faulted (or deduplicated) twice.
+        """
         if message.player_id != self.player_id:
             raise ValueError(
                 f"message for player {message.player_id} enqueued on session {self.player_id}"
             )
         if self.disconnected:
             raise RuntimeError(f"session {self.player_id} is disconnected")
+        if self._channel is not None and message.sequence is None:
+            self._channel.send(self, message)
+            return
         if not self._inbox and self._pending_index is not None:
             self._pending_index[self.player_id] = None
         self._inbox.append(message)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.api.scenarios import register_scenario
+from repro.faults import FaultPlan, install_faults
 from repro.sim.metrics import BoxplotStats, boxplot_stats, fraction_exceeding
 from repro.workload.behavior import Behavior, behavior_by_code
 from repro.workload.bots import BotSwarm, GameHost, JoinSchedule
@@ -73,12 +74,17 @@ class Scenario:
     preload_radius_blocks: float = 160.0
     #: virtual seconds to run before measurements start (lets cold starts drain)
     warmup_s: float = 5.0
+    #: fault-plan dict (see :mod:`repro.faults.plan`) installed on the host at
+    #: the start of the run; None or {} runs fault-free
+    faults: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.players < 0:
             raise ValueError("players must be non-negative")
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
+        if self.faults is not None:
+            FaultPlan.from_dict(self.faults)  # validate eagerly
 
     # -- construction helpers (deprecated aliases of the registered factories) -------------
 
@@ -130,7 +136,13 @@ class Scenario:
         short warm-up, then measures for ``duration_s`` virtual seconds.  For
         a cluster the recorded tick durations are the lockstep *round*
         durations — the slowest shard of each round.
+
+        A non-empty ``faults`` plan is installed on the host before anything
+        else happens, so injected faults cover the whole run (fault times in
+        the plan are absolute virtual times from engine start).
         """
+        if self.faults:
+            install_faults(server, FaultPlan.from_dict(self.faults))
         server.chunks.preload_area(server.config.spawn_position, self.preload_radius_blocks)
         place_standard_constructs(server, self.constructs)
         swarm = self.build_swarm()
@@ -224,7 +236,8 @@ def random_walk(players: int, duration_s: float = 120.0) -> Scenario:
 def custom(name: str, players: int, behavior_code: str = "A", world_type: str = "flat",
            constructs: int = 0, duration_s: float = 30.0,
            join_interval_s: Optional[float] = None,
-           preload_radius_blocks: float = 160.0, warmup_s: float = 5.0) -> Scenario:
+           preload_radius_blocks: float = 160.0, warmup_s: float = 5.0,
+           faults: Optional[dict] = None) -> Scenario:
     """A fully explicit scenario: every :class:`Scenario` field as a parameter."""
     return Scenario(
         name=name,
@@ -236,6 +249,101 @@ def custom(name: str, players: int, behavior_code: str = "A", world_type: str = 
         join_interval_s=join_interval_s,
         preload_radius_blocks=preload_radius_blocks,
         warmup_s=warmup_s,
+        faults=faults,
+    )
+
+
+# -- chaos scenarios (fault injection) -----------------------------------------------------
+
+
+@register_scenario("offload_brownout")
+def offload_brownout(players: int = 20, constructs: int = 30, duration_s: float = 20.0,
+                     failure_rate: float = 0.15, throttle_rate: float = 0.05,
+                     timeout_rate: float = 0.05, max_attempts: int = 3) -> Scenario:
+    """A FaaS brownout under the construct workload.
+
+    A sizable fraction of offload invocations fail, throttle or time out; the
+    retry/backoff policy and the local-fallback simulation path must keep the
+    game playable (Servo's design claim under a misbehaving substrate).
+    """
+    return Scenario(
+        name=f"offload-brownout-{players}p-{constructs}sc",
+        players=players,
+        behavior_code="A",
+        world_type="flat",
+        constructs=constructs,
+        duration_s=duration_s,
+        faults={
+            "faas": {
+                "failure_rate": failure_rate,
+                "throttle_rate": throttle_rate,
+                "timeout_rate": timeout_rate,
+                "retry": {
+                    "max_attempts": max_attempts,
+                    "backoff_base_ms": 40.0,
+                    "backoff_multiplier": 2.0,
+                },
+            },
+        },
+    )
+
+
+@register_scenario("shard_kill_at_peak")
+def shard_kill_at_peak(players: int = 40, constructs: int = 12, duration_s: float = 25.0,
+                       kill_at_s: float = 12.0, respawn_after_s: float = 3.0,
+                       shard: int = 1) -> Scenario:
+    """Kill one cluster shard at peak load, then recover it.
+
+    Requires a cluster host.  The kill fires at ``kill_at_s`` virtual seconds
+    from engine start (the default lands mid-measurement, after the 5 s
+    warm-up); the zone respawns ``respawn_after_s`` later and every stranded
+    session is evacuated into the replacement through the snapshot/restore
+    migration protocol.
+    """
+    return Scenario(
+        name=f"shard-kill-{players}p-s{shard}",
+        players=players,
+        behavior_code="A",
+        world_type="flat",
+        constructs=constructs,
+        duration_s=duration_s,
+        faults={
+            "shards": [
+                {
+                    "at_ms": kill_at_s * 1000.0,
+                    "shard": shard,
+                    "respawn_after_ms": respawn_after_s * 1000.0,
+                },
+            ],
+        },
+    )
+
+
+@register_scenario("flaky_network")
+def flaky_network(players: int = 30, duration_s: float = 20.0,
+                  drop_rate: float = 0.05, duplicate_rate: float = 0.05,
+                  delay_rate: float = 0.10) -> Scenario:
+    """A lossy client network: messages drop, duplicate and arrive late.
+
+    Idempotent update application (sequence-stamped deliveries, per-player
+    dedupe) must keep the world state consistent — a duplicated move or
+    block edit is applied exactly once.
+    """
+    return Scenario(
+        name=f"flaky-network-{players}p",
+        players=players,
+        behavior_code="A",
+        world_type="flat",
+        duration_s=duration_s,
+        faults={
+            "net": {
+                "drop_rate": drop_rate,
+                "duplicate_rate": duplicate_rate,
+                "delay_rate": delay_rate,
+                "delay_ms_min": 50.0,
+                "delay_ms_max": 400.0,
+            },
+        },
     )
 
 

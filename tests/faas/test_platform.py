@@ -137,3 +137,24 @@ def test_invocation_overhead_property(platform):
     assert invocation.overhead_ms == pytest.approx(
         invocation.latency_ms - invocation.execution_ms
     )
+
+
+def test_timed_out_invocation_releases_its_warm_slot_at_the_deadline(engine):
+    # Regression: the execution time must be clamped to the function timeout
+    # BEFORE the warm slot is acquired — a timed-out invocation occupies its
+    # environment until the platform kills it at timeout_ms, never for the
+    # unclamped execution time.
+    platform = FaasPlatform(engine, provider=AWS_LAMBDA)
+    platform.register(
+        FunctionDefinition(
+            name="slow", handler=echo_handler, memory_mb=1769, timeout_ms=1.0
+        )
+    )
+    submitted = engine.now_ms
+    invocation = platform.invoke("slow", {})
+    assert invocation.timed_out
+    assert invocation.status == "timeout"
+    assert invocation.result is None
+    assert invocation.execution_ms == 1.0
+    environment = platform.pool("slow")._environments[0]
+    assert environment.busy_until_ms == pytest.approx(submitted + 1.0)

@@ -1,0 +1,112 @@
+"""The lossy message channel and idempotent update application."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.net.channel import SEEN_WINDOW, FaultyMessageChannel, _SeenWindow
+from repro.net.message import Message, MessageKind
+from repro.server import GameConfig, make_opencraft
+
+
+def make_channel(engine, net):
+    injector = FaultInjector(engine, FaultPlan.from_dict({"net": net}))
+    return FaultyMessageChannel(engine, injector), injector
+
+
+def make_session(engine, channel=None):
+    server = make_opencraft(engine, GameConfig(world_type="flat"))
+    server.chunks.preload_area(server.config.spawn_position, 96.0)
+    session = server.connect_player("alice")
+    if channel is not None:
+        channel.add_resolver(server.sessions.get)
+        session.attach_channel(channel)
+    return server, session
+
+
+def move(player_id):
+    return Message(MessageKind.MOVE, player_id, {"x": 1, "y": 64, "z": 1})
+
+
+def test_channel_requires_a_net_section(engine):
+    injector = FaultInjector(engine, FaultPlan.from_dict({"faas": {"failure_rate": 0.5}}))
+    with pytest.raises(ValueError):
+        FaultyMessageChannel(engine, injector)
+
+
+def test_dropped_messages_never_reach_the_inbox(engine):
+    channel, injector = make_channel(engine, {"drop_rate": 1.0})
+    _, session = make_session(engine, channel)
+    session.enqueue(move(session.player_id))
+    assert session.pending_messages == 0
+    assert engine.metrics.counter("net_messages_dropped") == 1.0
+    assert injector.timeline.count("net.drop") == 1
+
+
+def test_duplicated_messages_are_applied_exactly_once(engine):
+    channel, _ = make_channel(engine, {"duplicate_rate": 1.0})
+    _, session = make_session(engine, channel)
+    session.enqueue(move(session.player_id))
+    # Delivered twice on the wire, deduplicated down to one application.
+    assert session.pending_messages == 1
+    assert engine.metrics.counter("net_messages_duplicated") == 1.0
+    assert engine.metrics.counter("net_duplicates_dropped") == 1.0
+
+
+def test_delayed_messages_arrive_later_but_are_still_applied(engine):
+    channel, _ = make_channel(
+        engine, {"delay_rate": 1.0, "delay_ms_min": 100.0, "delay_ms_max": 100.0}
+    )
+    _, session = make_session(engine, channel)
+    session.enqueue(move(session.player_id))
+    assert session.pending_messages == 0  # still in flight
+    engine.advance_by(150.0)
+    assert session.pending_messages == 1
+    assert engine.metrics.counter("net_messages_delayed") == 1.0
+
+
+def test_delayed_message_to_a_disconnected_player_is_lost(engine):
+    channel, _ = make_channel(
+        engine, {"delay_rate": 1.0, "delay_ms_min": 50.0, "delay_ms_max": 50.0}
+    )
+    server, session = make_session(engine, channel)
+    session.enqueue(move(session.player_id))
+    server.disconnect_player(session.player_id)
+    engine.advance_by(100.0)
+    assert engine.metrics.counter("net_messages_lost") == 1.0
+
+
+def test_stamped_messages_bypass_the_channel(engine):
+    # Server-internal requeues (e.g. a migration handing over undrained
+    # messages) carry a sequence stamp and must not be faulted again.
+    channel, _ = make_channel(engine, {"drop_rate": 1.0})
+    _, session = make_session(engine, channel)
+    stamped = Message(MessageKind.MOVE, session.player_id, {"x": 1}, sequence=7)
+    session.enqueue(stamped)
+    assert session.pending_messages == 1
+    assert engine.metrics.counter("net_messages_dropped") == 0.0
+
+
+def test_sequences_are_stamped_per_player_monotonically(engine):
+    channel, _ = make_channel(engine, {"drop_rate": 0.0, "delay_rate": 0.0, "duplicate_rate": 0.001})
+    _, session = make_session(engine, channel)
+    for _ in range(5):
+        session.enqueue(move(session.player_id))
+    sequences = [message.sequence for message in session.drain()]
+    assert sequences == [1, 2, 3, 4, 5]
+
+
+def test_seen_window_is_bounded_and_forgets_oldest():
+    window = _SeenWindow(capacity=4)
+    for sequence in range(1, 5):
+        assert window.add(sequence)
+    assert not window.add(4)  # recent duplicate rejected
+    assert window.add(5)  # evicts 1
+    assert window.add(1)  # old enough to have left the window
+    assert SEEN_WINDOW == 512
+
+
+def test_without_a_channel_messages_go_straight_to_the_inbox(engine):
+    _, session = make_session(engine, channel=None)
+    session.enqueue(move(session.player_id))
+    assert session.pending_messages == 1
+    assert session.drain()[0].sequence is None

@@ -1,0 +1,68 @@
+"""Graceful degradation: shedding broadcast work after budget overruns."""
+
+from repro.faults import DegradationController, DegradationPolicy
+from repro.server import GameConfig, make_opencraft
+from repro.server.costmodel import TickWork
+
+
+def make_controller(engine, budget_ms=50.0, shed_fraction=0.5):
+    return DegradationController(
+        DegradationPolicy(budget_ms=budget_ms, shed_fraction=shed_fraction),
+        engine.metrics,
+    )
+
+
+def test_no_shedding_while_under_budget(engine):
+    controller = make_controller(engine)
+    controller.observe(30.0)
+    assert not controller.shedding
+    assert controller.shed_count(100) == 0
+    assert engine.metrics.counter("broadcast_updates_shed") == 0.0
+
+
+def test_overrun_sheds_the_configured_fraction_next_tick(engine):
+    controller = make_controller(engine, budget_ms=50.0, shed_fraction=0.5)
+    controller.observe(80.0)
+    assert controller.shedding
+    assert controller.shed_count(100) == 50
+    assert engine.metrics.counter("broadcast_updates_shed") == 50.0
+    # A tick back under budget stops the shedding.
+    controller.observe(40.0)
+    assert controller.shed_count(100) == 0
+    assert controller.shedding_ticks == 1
+    assert controller.updates_shed == 50
+
+
+def test_shed_broadcasts_reduce_the_tick_cost():
+    import numpy as np
+
+    from repro.server.costmodel import OPENCRAFT_COST_MODEL as model
+
+    full = model.duration_ms(TickWork(players=100), np.random.default_rng(0))
+    shed = model.duration_ms(
+        TickWork(players=100, broadcast_players_shed=50), np.random.default_rng(0)
+    )
+    zero_shed = model.duration_ms(
+        TickWork(players=100, broadcast_players_shed=0), np.random.default_rng(0)
+    )
+    assert shed < full
+    # Shedding zero players is bit-identical to the original cost.
+    assert zero_shed == full
+
+
+def test_gameloop_sheds_after_an_overlong_tick(engine):
+    from repro.constructs.library import standard_construct
+
+    server = make_opencraft(engine, GameConfig(world_type="flat"))
+    server.chunks.preload_area(server.config.spawn_position, 96.0)
+    server.degradation = make_controller(engine, budget_ms=50.0, shed_fraction=0.5)
+    for index in range(60):
+        server.connect_player(f"bot-{index}")
+    # 200 constructs push ticks over the 50 ms budget.
+    for index in range(200):
+        server.place_construct(standard_construct(index))
+    for _ in range(10):
+        server.tick()
+    assert engine.metrics.counter("broadcast_updates_shed") > 0.0
+    assert server.degradation.shedding_ticks > 0
+    assert server.degradation.updates_shed >= 30  # 0.5 * 60 players per shed tick

@@ -1,0 +1,75 @@
+"""Serverless terrain under faults: bounded retries, then local fallback."""
+
+from repro.core.terrain_service import (
+    TERRAIN_GENERATION_FUNCTION,
+    ServerlessTerrainProvider,
+    make_terrain_handler,
+)
+from repro.faas import AWS_LAMBDA, FaasPlatform, FunctionDefinition
+from repro.faults import FaultInjector, FaultPlan
+from repro.world.coords import ChunkPos
+from repro.world.terrain import make_terrain_generator
+
+
+def make_provider(engine, plan=None, max_attempts=3):
+    platform = FaasPlatform(engine, provider=AWS_LAMBDA)
+    platform.register(
+        FunctionDefinition(
+            name=TERRAIN_GENERATION_FUNCTION,
+            handler=make_terrain_handler(),
+            memory_mb=1769,
+        )
+    )
+    if plan is not None:
+        platform.fault_injector = FaultInjector(engine, FaultPlan.from_dict(plan))
+    return ServerlessTerrainProvider(
+        engine, platform, world_type="flat", seed=7, max_attempts=max_attempts
+    )
+
+
+def collect(provider, engine, position=ChunkPos(3, 4), horizon_ms=60_000.0):
+    delivered = []
+    provider.request(position, lambda chunk, result: delivered.append((chunk, result)))
+    engine.advance_by(horizon_ms)
+    return delivered
+
+
+def test_dead_platform_falls_back_to_local_generation(engine):
+    provider = make_provider(engine, {"faas": {"failure_rate": 1.0}}, max_attempts=3)
+    delivered = collect(provider, engine)
+    assert len(delivered) == 1
+    chunk, result = delivered[0]
+    assert result.source == "local-fallback"
+    assert result.consumed_local_cpu
+    # Generation is pure: the fallback chunk equals the serverless one.
+    reference = make_terrain_generator("flat", seed=7).generate_chunk(ChunkPos(3, 4))
+    assert (chunk.blocks == reference.blocks).all()
+    assert engine.metrics.counter("terrain_generation_failures") == 3.0
+    assert engine.metrics.counter("terrain_generation_retries") == 2.0
+    assert engine.metrics.counter("terrain_local_fallbacks") == 1.0
+    assert provider.pending_count() == 0
+
+
+def test_flaky_platform_usually_recovers_without_fallback():
+    from repro.sim import SimulationEngine
+
+    engine = SimulationEngine(seed=21)
+    provider = make_provider(engine, {"faas": {"failure_rate": 0.3}}, max_attempts=4)
+    delivered = []
+    for index in range(10):
+        provider.request(
+            ChunkPos(index, 0), lambda chunk, result: delivered.append(result)
+        )
+    engine.advance_by(120_000.0)
+    assert len(delivered) == 10
+    assert sum(1 for r in delivered if r.source == "faas-generation") > 0
+    # Either path, terrain always arrives.
+    assert all(r.source in ("faas-generation", "local-fallback") for r in delivered)
+
+
+def test_healthy_platform_is_unaffected(engine):
+    provider = make_provider(engine, plan=None)
+    delivered = collect(provider, engine)
+    assert len(delivered) == 1
+    assert delivered[0][1].source == "faas-generation"
+    assert engine.metrics.counter("terrain_generation_failures") == 0.0
