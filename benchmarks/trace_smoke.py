@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Trace smoke test: the telemetry pipeline is complete and deterministic.
+
+Four gates, all at quick scale with a fixed seed (used by the CI
+``trace-smoke`` job):
+
+1. **Coverage** — a traced Servo-cluster run (constructs offloading under an
+   injected FaaS failure rate) must emit every span category the unified
+   trace promises: ticks, rounds, migrations, FaaS invocations and fault
+   instants, and the written file must validate against the Chrome
+   trace-event schema.
+2. **Determinism** — two same-seed runs must produce byte-identical trace
+   files once the wall-clock-only ``wallProfile`` section is stripped (the
+   virtual clock is a pure function of the seed; the embedded metric
+   snapshot rides along, so this also pins run-wide metrics).
+3. **Report** — ``repro report`` must render the per-subsystem breakdown
+   from the written trace (exit 0).
+4. **No observer effect** — the same spec with telemetry disabled must
+   produce the identical deterministic summary: recording is observation,
+   never perturbation.
+
+Exit status is non-zero on any violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.api.cli import main as repro_main
+from repro.api.run import run_spec
+from repro.obs.export import strip_wall_clock, trace_json
+from repro.obs.report import load_trace, trace_breakdown, validate_chrome_trace
+
+#: chosen so this quick run exercises every category: at this seed the
+#: wandering players cross the shard split (migrations) and the injected
+#: failure rate actually fires (fault instants)
+SEED = 7
+
+#: every category the unified trace must cover in this scenario
+REQUIRED_SPANS = {"tick", "round", "migration", "faas"}
+REQUIRED_INSTANTS = {"fault"}
+
+TRACED_SPEC = {
+    "host": {
+        "game": "servo-cluster",
+        "shards": 2,
+        "game_config": {"world_type": "flat"},
+    },
+    "workload": {
+        "scenario": "behaviour_a",
+        "params": {"players": 12, "constructs": 6},
+    },
+    "faults": {"faas": {"failure_rate": 0.3}},
+    "seed": SEED,
+    "duration_s": 6.0,
+    "warmup_s": 1.0,
+    "telemetry": {"enabled": True, "profile": True},
+}
+
+
+def _run_traced(workdir: Path, tag: str) -> tuple[Path, dict]:
+    """One traced run via the CLI; returns the trace path and the summary."""
+    spec_path = workdir / f"spec_{tag}.json"
+    trace_path = workdir / f"trace_{tag}.json"
+    result_path = workdir / f"result_{tag}.json"
+    spec_path.write_text(json.dumps(TRACED_SPEC))
+    code = repro_main(
+        ["run", str(spec_path), "--trace", str(trace_path), "--json", str(result_path)]
+    )
+    if code != 0:
+        raise SystemExit(f"traced run {tag!r} failed with exit code {code}")
+    summary = json.loads(result_path.read_text())["summary"]
+    return trace_path, summary
+
+
+def check_coverage(trace_path: Path) -> list[str]:
+    failures = []
+    trace = load_trace(str(trace_path))
+    problems = validate_chrome_trace(trace)
+    for problem in problems[:10]:
+        failures.append(f"coverage: schema problem: {problem}")
+    rows, instants = trace_breakdown(trace)
+    spans_seen = {row.category for row in rows}
+    missing_spans = REQUIRED_SPANS - spans_seen
+    missing_instants = REQUIRED_INSTANTS - set(instants)
+    if missing_spans:
+        failures.append(f"coverage: no spans for {sorted(missing_spans)}")
+    if missing_instants:
+        failures.append(f"coverage: no instants for {sorted(missing_instants)}")
+    if "wallProfile" not in trace:
+        failures.append("coverage: --profile run is missing the wallProfile section")
+    if not failures:
+        total = sum(row.count for row in rows)
+        print(
+            f"coverage: {total} spans across {sorted(spans_seen)}, "
+            f"instants {dict(sorted(instants.items()))} [ok]"
+        )
+    return failures
+
+
+def check_determinism(first: Path, second: Path) -> list[str]:
+    failures = []
+    stripped = [
+        json.dumps(strip_wall_clock(load_trace(str(path))), sort_keys=True)
+        for path in (first, second)
+    ]
+    if stripped[0] != stripped[1]:
+        failures.append("determinism: same-seed traces differ after wall-clock strip")
+    else:
+        print("determinism: same-seed traces byte-identical (virtual clock) [ok]")
+    return failures
+
+
+def check_report(trace_path: Path) -> list[str]:
+    code = repro_main(["report", str(trace_path)])
+    if code != 0:
+        return [f"report: `repro report` exited {code}"]
+    print("report: breakdown rendered [ok]")
+    return []
+
+
+def check_no_observer_effect(traced_summary: dict) -> list[str]:
+    plain_spec = {k: v for k, v in TRACED_SPEC.items() if k != "telemetry"}
+    plain = run_spec(plain_spec).summary()
+    if plain != traced_summary:
+        return ["observer: telemetry changed the deterministic summary"]
+    print("observer: telemetry off == telemetry on (virtual results) [ok]")
+    return []
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="trace_smoke_") as tmp:
+        workdir = Path(tmp)
+        first_trace, first_summary = _run_traced(workdir, "a")
+        second_trace, second_summary = _run_traced(workdir, "b")
+        failures = check_coverage(first_trace)
+        failures += check_determinism(first_trace, second_trace)
+        if first_summary != second_summary:
+            failures.append("determinism: same-seed summaries differ")
+        failures += check_report(first_trace)
+        failures += check_no_observer_effect(first_summary)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

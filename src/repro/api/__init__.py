@@ -54,6 +54,10 @@ _EXPORTS = {
     "WorkloadSpec": "repro.api.spec",
     "RunResult": "repro.api.result",
     "run_spec": "repro.api.run",
+    # observability (see repro.obs for the full exporter/report surface)
+    "Telemetry": "repro.obs.telemetry",
+    "TelemetryConfig": "repro.obs.telemetry",
+    "install_telemetry": "repro.obs.telemetry",
     # experiment layer (lazy keeps repro.api importable from lower layers)
     "ExperimentSettings": "repro.experiments.harness",
     "QUICK_SETTINGS": "repro.experiments.harness",

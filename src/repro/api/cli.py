@@ -12,6 +12,9 @@ Commands:
 * ``repro bench`` — quick wall-clock benchmark with a determinism check.
 * ``repro spec <file>`` — validate a spec file and print its canonical JSON
   (``--check`` additionally asserts dict/JSON round-trips, for CI).
+* ``repro report <trace.json>`` — validate a ``--trace`` file against the
+  Chrome trace-event schema and print the per-subsystem virtual-time
+  breakdown.
 * ``repro --version`` — the package version.
 """
 
@@ -82,6 +85,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault plan: a JSON file path, inline JSON (starts with '{'), or "
         "'none' to disable the scenario's own faults",
     )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable telemetry and write a Chrome trace-event JSON here "
+        "(virtual-time clock; open with ui.perfetto.dev)",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="enable telemetry and write a Prometheus-style metric dump here",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="also collect opt-in wall-clock profiling counters (kept out of "
+        "the deterministic virtual results)",
+    )
     run.add_argument("--json", metavar="PATH", help="write the full RunResult JSON here")
     run.set_defaults(handler=_cmd_run)
 
@@ -133,6 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="assert dict and JSON round-trips; print OK instead of the spec",
     )
     spec.set_defaults(handler=_cmd_spec)
+
+    report = commands.add_parser(
+        "report",
+        help="validate a trace file and print its per-subsystem breakdown",
+    )
+    report.add_argument("trace", help="path to a Chrome trace JSON (from --trace)")
+    report.set_defaults(handler=_cmd_report)
 
     return parser
 
@@ -192,6 +219,15 @@ def _spec_dict_from_args(args: argparse.Namespace) -> dict:
             data[key] = value
     if args.faults is not None:
         data["faults"] = _faults_from_arg(args.faults)
+    telemetry = dict(data.get("telemetry") or {})
+    if args.trace is not None:
+        telemetry["trace_path"] = args.trace
+    if args.metrics_out is not None:
+        telemetry["metrics_path"] = args.metrics_out
+    if args.profile:
+        telemetry["profile"] = True
+    if telemetry:
+        data["telemetry"] = telemetry
 
     if game_config:
         host["game_config"] = game_config
@@ -215,6 +251,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = RunSpec.from_dict(_spec_dict_from_args(args))
     result = run_spec(spec)
     print(result.format_summary())
+    telemetry = (spec.telemetry or {}) if spec.telemetry is not None else {}
+    if telemetry.get("trace_path"):
+        print(f"trace written to {telemetry['trace_path']}")
+    if telemetry.get("metrics_path"):
+        print(f"metrics written to {telemetry['metrics_path']}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
@@ -283,6 +324,21 @@ def _cmd_spec(args: argparse.Namespace) -> int:
         print(f"OK: {args.file} is valid and round-trips")
         return 0
     print(spec.to_json())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import format_trace_report, load_trace, validate_chrome_trace
+
+    trace = load_trace(args.trace)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems[:20]:
+            print(f"schema problem: {problem}", file=sys.stderr)
+        if len(problems) > 20:
+            print(f"... and {len(problems) - 20} more", file=sys.stderr)
+        return 1
+    print(format_trace_report(trace, source=args.trace))
     return 0
 
 

@@ -35,6 +35,9 @@ class RunResult:
     wall_seconds: float = 0.0
     #: the live host, for post-run inspection (not serialized)
     host: Optional[Any] = field(default=None, repr=False, compare=False)
+    #: the run's telemetry hub when the spec enabled one (not serialized —
+    #: export it via :mod:`repro.obs.export`); None otherwise
+    telemetry: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def tick_stats(self) -> BoxplotStats:
         return self.scenario.tick_stats()

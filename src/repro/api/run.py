@@ -26,6 +26,13 @@ def run_spec(spec: Union[RunSpec, dict, str, os.PathLike]) -> RunResult:
 
     Accepts a :class:`RunSpec`, a plain dict (``RunSpec.from_dict`` is
     applied) or a path to a spec JSON file (``str`` or ``os.PathLike``).
+
+    When the spec carries a ``telemetry`` section, a
+    :class:`~repro.obs.telemetry.Telemetry` hub is installed on the engine
+    before the host is built (so every subsystem's hooks see it), the hub is
+    attached to the result, and any configured trace/metrics files are
+    written after the run.  Without one, the engine keeps its null hub and
+    the run is bit-identical to an uninstrumented one.
     """
     if isinstance(spec, (str, os.PathLike)):
         spec = RunSpec.from_file(spec)
@@ -33,6 +40,12 @@ def run_spec(spec: Union[RunSpec, dict, str, os.PathLike]) -> RunResult:
         spec = RunSpec.from_dict(spec)
 
     engine = SimulationEngine(seed=spec.seed)
+    telemetry_config = None
+    if spec.telemetry is not None:
+        from repro.obs.telemetry import TelemetryConfig, install_telemetry
+
+        telemetry_config = TelemetryConfig.from_dict(spec.telemetry)
+        install_telemetry(engine, telemetry_config)
     host = build_host(
         spec.host.game,
         engine,
@@ -58,6 +71,17 @@ def run_spec(spec: Union[RunSpec, dict, str, os.PathLike]) -> RunResult:
     scenario_result = scenario.run(host)
     wall_seconds = time.perf_counter() - started
 
+    telemetry = engine.telemetry if engine.telemetry.enabled else None
+    if telemetry_config is not None and telemetry is not None:
+        if telemetry_config.trace_path is not None:
+            from repro.obs.export import write_chrome_trace
+
+            write_chrome_trace(telemetry_config.trace_path, telemetry, engine.metrics)
+        if telemetry_config.metrics_path is not None:
+            from repro.obs.export import write_prometheus
+
+            write_prometheus(telemetry_config.metrics_path, engine.metrics)
+
     counters = {
         name: engine.metrics.counter(name) for name in engine.metrics.counter_names
     }
@@ -69,4 +93,5 @@ def run_spec(spec: Union[RunSpec, dict, str, os.PathLike]) -> RunResult:
         counters=counters,
         wall_seconds=wall_seconds,
         host=host,
+        telemetry=telemetry,
     )

@@ -190,7 +190,9 @@ class WorkloadSpec:
 class RunSpec:
     """A complete, serializable description of one run."""
 
-    KEYS = frozenset({"host", "workload", "seed", "duration_s", "warmup_s", "faults"})
+    KEYS = frozenset(
+        {"host", "workload", "seed", "duration_s", "warmup_s", "faults", "telemetry"}
+    )
 
     host: HostSpec
     workload: WorkloadSpec
@@ -202,6 +204,9 @@ class RunSpec:
     #: fault-plan overrides (see :mod:`repro.faults.plan`); None inherits the
     #: scenario's plan, ``{}`` explicitly disables faults (the empty plan)
     faults: Optional[dict] = None
+    #: telemetry configuration (see :mod:`repro.obs.telemetry`); None keeps
+    #: telemetry off entirely — the run is bit-identical to today
+    telemetry: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.seed, bool) or not isinstance(self.seed, int):
@@ -223,6 +228,12 @@ class RunSpec:
             from repro.faults.plan import FaultPlan
 
             FaultPlan.from_dict(self.faults)
+        if self.telemetry is not None:
+            _require_mapping(self.telemetry, "telemetry")
+            # Same pattern as faults: eager validation, plain-dict storage.
+            from repro.obs.telemetry import TelemetryConfig
+
+            TelemetryConfig.from_dict(self.telemetry)
 
     # -- serialization --------------------------------------------------------------
 
@@ -240,6 +251,7 @@ class RunSpec:
             duration_s=data.get("duration_s"),
             warmup_s=data.get("warmup_s"),
             faults=data.get("faults"),
+            telemetry=data.get("telemetry"),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -254,6 +266,8 @@ class RunSpec:
             out["warmup_s"] = self.warmup_s
         if self.faults is not None:
             out["faults"] = dict(self.faults)
+        if self.telemetry is not None:
+            out["telemetry"] = dict(self.telemetry)
         return out
 
     @classmethod

@@ -31,6 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.cluster.partition import WorldPartitioner
 from repro.constructs.circuit import SimulatedConstruct
 from repro.net.message import Message
+from repro.obs.records import RecordRing
 from repro.server.config import GameConfig
 from repro.server.gameloop import GameServer, TickLoop, TickRecord
 from repro.server.session import PlayerSession, restore_avatar_state, snapshot_session
@@ -187,8 +188,14 @@ class ClusterCoordinator(TickLoop):
         #: bounded-area workloads then wander across it, exercising migration
         self.boundary_spawn_every = int(boundary_spawn_every)
         self.sessions: dict[int, ClusterSession] = {}
-        self.tick_records: list[TickRecord] = []
-        self.migration_records: list[MigrationRecord] = []
+        self.tick_records = RecordRing(
+            cap=config.tick_record_cap,
+            duration_of="duration_ms",
+            budget_ms=config.tick_interval_ms,
+        )
+        self.migration_records = RecordRing(
+            cap=config.tick_record_cap, duration_of="latency_ms"
+        )
         self.chunks = ClusterChunks(self)
         self.round_index = 0
         self._players_connected = 0
@@ -344,6 +351,21 @@ class ClusterCoordinator(TickLoop):
         metrics = self.engine.metrics
         metrics.histogram("migration_ms").record(latency_ms)
         metrics.increment("migrations")
+        telemetry = self.engine.telemetry
+        if telemetry.enabled:
+            telemetry.span(
+                "migration",
+                f"migrate:{proxy.name}",
+                start_ms=record.time_ms,
+                duration_ms=latency_ms,
+                track="migrations",
+                args={
+                    "player_id": record.player_id,
+                    "from_shard": record.from_shard,
+                    "to_shard": record.to_shard,
+                    "round": record.round_index,
+                },
+            )
 
     def _migrate_crossed_players(self) -> int:
         migrated = 0
@@ -498,6 +520,13 @@ class ClusterCoordinator(TickLoop):
         handed to the round executor, which may scatter it across worker
         processes without touching the draw order.
         """
+        telemetry = self.engine.telemetry
+        if telemetry.enabled and telemetry.profiler is not None:
+            with telemetry.profile("cluster.round"):
+                return self._tick_round()
+        return self._tick_round()
+
+    def _tick_round(self) -> TickRecord:
         if self.fault_injector is not None:
             self._apply_shard_faults()
         start_ms = self.engine.now_ms
@@ -540,6 +569,20 @@ class ClusterCoordinator(TickLoop):
         )
         self.tick_records.append(record)
         self.engine.metrics.histogram("cluster_round_ms").record(duration_ms)
+        telemetry = self.engine.telemetry
+        if telemetry.enabled:
+            telemetry.span(
+                "round",
+                "round",
+                start_ms=start_ms,
+                duration_ms=duration_ms,
+                track=self.name,
+                args={
+                    "index": record.index,
+                    "players": record.players,
+                    "shards_alive": len(shard_records),
+                },
+            )
         self.round_index += 1
 
         # Lockstep: the cluster's next round starts when the slowest shard is

@@ -131,6 +131,21 @@ class ServerlessTerrainProvider(TerrainProvider):
                 # The handler deferred generation to a worker process; the
                 # chunk is (at worst: becomes) ready now, at completion time.
                 chunk = chunk.resolve()
+            telemetry = self.engine.telemetry
+            if telemetry.enabled:
+                telemetry.span(
+                    "terrain",
+                    f"chunk:{position.cx},{position.cz}",
+                    start_ms=invocation.submitted_ms,
+                    duration_ms=invocation.latency_ms,
+                    track="terrain",
+                    args={
+                        "cx": position.cx,
+                        "cz": position.cz,
+                        "status": invocation.status,
+                        "attempt": _attempt,
+                    },
+                )
             if invocation.status != "ok" or not isinstance(chunk, Chunk):
                 # A timed-out (or failed/throttled) invocation delivers None
                 # where a chunk is expected: count it, retry a bounded number
@@ -142,6 +157,13 @@ class ServerlessTerrainProvider(TerrainProvider):
                     self.request(position, callback, _attempt=_attempt + 1)
                     return
                 self.engine.metrics.increment("terrain_local_fallbacks")
+                if telemetry.enabled:
+                    telemetry.instant(
+                        "terrain",
+                        "local-fallback",
+                        track="terrain",
+                        args={"cx": position.cx, "cz": position.cz},
+                    )
                 callback(
                     self._generate_locally(position),
                     GenerationResult(

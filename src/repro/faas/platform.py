@@ -121,6 +121,7 @@ class FaasPlatform:
                 status="throttled",
             )
             self.invocations.append(invocation)
+            self._trace_invocation(invocation)
             return invocation
 
         output = definition.handler(payload)
@@ -172,7 +173,26 @@ class FaasPlatform:
         # time, exactly as real providers bill them.
         self.billing.record(name, submitted_ms, execution_ms, definition.memory_mb)
         self.invocations.append(invocation)
+        self._trace_invocation(invocation)
         return invocation
+
+    def _trace_invocation(self, invocation: Invocation) -> None:
+        """Record one attempt as a virtual-time telemetry span (if enabled)."""
+        telemetry = self.engine.telemetry
+        if telemetry.enabled:
+            telemetry.span(
+                "faas",
+                invocation.function_name,
+                start_ms=invocation.submitted_ms,
+                duration_ms=invocation.latency_ms,
+                track="faas",
+                args={
+                    "request_id": invocation.request_id,
+                    "status": invocation.status,
+                    "cold_start": invocation.cold_start,
+                    "execution_ms": invocation.execution_ms,
+                },
+            )
 
     def invoke_with_retry(
         self, name: str, payload: Any, policy: Optional["RetryPolicy"] = None

@@ -101,7 +101,7 @@ class FaultInjector:
             outcome = "timeout"
         else:
             return "ok"
-        self.timeline.record(self.engine.now_ms, f"faas.{outcome}", function_name)
+        self._emit(f"faas.{outcome}", function_name)
         return outcome
 
     def retry_jitter_ms(self) -> float:
@@ -125,7 +125,27 @@ class FaultInjector:
         return due
 
     def record(self, kind: str, detail: str = "") -> None:
-        self.timeline.record(self.engine.now_ms, kind, detail)
+        self._emit(kind, detail)
+
+    def _emit(self, kind: str, detail: str) -> None:
+        """Record one fault on the timeline and, when enabled, the telemetry hub.
+
+        This is the FaultTimeline→telemetry fold-in: every fault event becomes
+        a ``fault``-category instant in the unified virtual-time trace, while
+        the timeline (and its digest, the chaos determinism gate) stays the
+        authoritative chaos record.
+        """
+        now_ms = self.engine.now_ms
+        self.timeline.record(now_ms, kind, detail)
+        telemetry = self.engine.telemetry
+        if telemetry.enabled:
+            telemetry.instant(
+                "fault",
+                kind,
+                track="faults",
+                ts_ms=now_ms,
+                args={"detail": detail} if detail else None,
+            )
 
     # -- net ------------------------------------------------------------------------
 

@@ -1,0 +1,57 @@
+"""Opt-in wall-clock profiling counters, strictly separate from virtual time.
+
+Everything else in :mod:`repro.obs` records *virtual* time so traces are
+reproducible from the seed.  Real execution cost — how long a tick actually
+took on this machine — is a different question, and mixing the two would
+poison every determinism hash.  :class:`WallClockProfiler` therefore lives in
+its own object: sections accumulate ``(calls, wall seconds)`` pairs, the
+exporters emit them only under a clearly-labelled ``wallProfile`` key, and
+the virtual-time trace digest never sees them.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class SectionStats:
+    """Accumulated wall-clock cost of one named profiling section."""
+
+    __slots__ = ("calls", "wall_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.wall_s = 0.0
+
+    def add(self, elapsed_s: float) -> None:
+        self.calls += 1
+        self.wall_s += elapsed_s
+
+    def to_dict(self) -> dict[str, float]:
+        return {"calls": self.calls, "wall_s": self.wall_s}
+
+
+class WallClockProfiler:
+    """Per-section wall-clock accumulators driven by ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self.sections: dict[str, SectionStats] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        stats = self.sections.get(name)
+        if stats is None:
+            stats = self.sections[name] = SectionStats()
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            stats.add(time.perf_counter() - started)
+
+    def to_dict(self) -> dict[str, dict[str, float]]:
+        """Section stats, keyed and ordered by section name."""
+        return {name: self.sections[name].to_dict() for name in sorted(self.sections)}
+
+    def __len__(self) -> int:
+        return len(self.sections)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.world.coords import BlockPos
 
@@ -29,6 +30,9 @@ class GameConfig:
     persistence_interval_s: float = 30.0
     #: maximum number of chunks integrated into the world per tick
     max_chunk_integrations_per_tick: int = 8
+    #: retain only the newest N tick/migration records (None = unbounded, the
+    #: historical behaviour); run-wide summaries stay exact either way
+    tick_record_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.simulation_rate_hz <= 0:
@@ -39,6 +43,8 @@ class GameConfig:
             raise ValueError(f"unknown world type {self.world_type!r}")
         if self.max_chunk_integrations_per_tick < 1:
             raise ValueError("max_chunk_integrations_per_tick must be at least 1")
+        if self.tick_record_cap is not None and self.tick_record_cap < 1:
+            raise ValueError("tick_record_cap must be at least 1 (or None)")
 
     @property
     def tick_interval_ms(self) -> float:

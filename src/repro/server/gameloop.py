@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
 
 from repro.constructs.circuit import SimulatedConstruct
 from repro.net.message import Message, MessageKind
+from repro.obs.records import RecordRing
 from repro.server.chunkmanager import ChunkManager, ChunkTickReport, OwnershipRegion
 from repro.server.config import GameConfig
 from repro.server.costmodel import TickCostModel, TickWork
@@ -31,6 +32,7 @@ from repro.server.session import (
     snapshot_session,
 )
 from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import metric_name
 from repro.storage.base import StorageBackend, StorageOperation
 from repro.world.block import BlockType
 from repro.world.coords import BlockPos, ChunkPos, block_to_chunk
@@ -78,12 +80,14 @@ class TickLoop:
     """Run-loop helpers shared by single servers and cluster coordinators.
 
     Subclasses provide ``tick()``, an ``engine`` and an append-only
-    ``tick_records`` list; the helpers drive ticks and invoke the optional
-    ``before_tick(host, tick_index)`` workload callback before each one.
+    ``tick_records`` store (a :class:`~repro.obs.records.RecordRing`, list-
+    compatible and optionally capped); the helpers drive ticks and invoke the
+    optional ``before_tick(host, tick_index)`` workload callback before each
+    one.
     """
 
     engine: SimulationEngine
-    tick_records: list[TickRecord]
+    tick_records: RecordRing
 
     def tick(self) -> TickRecord:
         raise NotImplementedError
@@ -178,7 +182,11 @@ class GameServer(TickLoop):
         self._last_persist_ms = 0.0
         #: hooks called at the start of every tick (used by Servo services)
         self.pre_tick_hooks: list[Callable[[int], None]] = []
-        self.tick_records: list[TickRecord] = []
+        self.tick_records = RecordRing(
+            cap=config.tick_record_cap,
+            duration_of="duration_ms",
+            budget_ms=config.tick_interval_ms,
+        )
         #: lossy client-message channel, set when a fault plan has net faults
         self.message_channel = None
         #: graceful-degradation controller, set when a fault plan enables it
@@ -487,10 +495,12 @@ class GameServer(TickLoop):
         if self.degradation is not None:
             self.degradation.observe(duration_ms)
         metrics = self.engine.metrics
-        metrics.histogram("tick_duration_ms").record(duration_ms)
+        metrics.histogram(metric_name("tick_duration_ms")).record(duration_ms)
         if self.region is not None:
             # Cluster shards share one metric registry; keep a per-shard view.
-            metrics.histogram(f"tick_duration_ms:{self.name}").record(duration_ms)
+            metrics.histogram(
+                metric_name("tick_duration_ms", shard=self.name)
+            ).record(duration_ms)
         metrics.series("tick_duration_over_time").record(start_ms, duration_ms)
         metrics.series("view_range_over_time").record(start_ms, chunk_report.min_view_range_blocks)
         metrics.series("players_over_time").record(start_ms, self.player_count)
@@ -505,6 +515,21 @@ class GameServer(TickLoop):
             view_range_blocks=chunk_report.min_view_range_blocks,
         )
         self.tick_records.append(record)
+        telemetry = self.engine.telemetry
+        if telemetry.enabled:
+            telemetry.span(
+                "tick",
+                "tick",
+                start_ms=start_ms,
+                duration_ms=duration_ms,
+                track=self.name,
+                args={
+                    "index": record.index,
+                    "players": record.players,
+                    "constructs": record.constructs,
+                    "chunks_integrated": record.chunks_integrated,
+                },
+            )
         self.tick_index += 1
         self.stats.ticks_executed += 1
 
@@ -524,6 +549,13 @@ class GameServer(TickLoop):
         directly instead of this method, interposing its round executor at
         the construct-batch boundary.
         """
+        telemetry = self.engine.telemetry
+        if telemetry.enabled and telemetry.profiler is not None:
+            with telemetry.profile("server.tick"):
+                return self._tick(advance_clock)
+        return self._tick(advance_clock)
+
+    def _tick(self, advance_clock: bool) -> TickRecord:
         progress = self.tick_begin()
         fixed_points = None
         if self.executor is not None:
@@ -536,7 +568,8 @@ class GameServer(TickLoop):
         return [record.duration_ms for record in self.tick_records]
 
     def fraction_of_ticks_over_budget(self, budget_ms: float = 50.0) -> float:
-        durations = self.tick_durations_ms()
-        if not durations:
+        if len(self.tick_records) == 0:
             raise ValueError("no ticks have been executed yet")
-        return sum(1 for duration in durations if duration > budget_ms) / len(durations)
+        # The ring answers exactly while uncapped (the default) and from its
+        # incremental counter once capped runs start evicting records.
+        return self.tick_records.over_budget_fraction(budget_ms)

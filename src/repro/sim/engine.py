@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.obs.telemetry import NULL_TELEMETRY
 from repro.sim.clock import SimulationClock
 from repro.sim.events import Event, EventQueue
 from repro.sim.metrics import MetricRegistry
@@ -23,6 +24,10 @@ class SimulationEngine:
         self.events = EventQueue()
         self.random = RandomStreams(seed=seed)
         self.metrics = MetricRegistry()
+        #: the run's telemetry hub; the shared null object until a run opts in
+        #: (see :func:`repro.obs.telemetry.install_telemetry`).  Hot paths gate
+        #: on its ``enabled`` attribute — one check, no other overhead.
+        self.telemetry = NULL_TELEMETRY
 
     @property
     def now_ms(self) -> float:

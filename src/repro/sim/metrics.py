@@ -25,6 +25,26 @@ from typing import Iterable, Iterator
 import numpy as np
 
 
+def metric_name(base: str, shard: str | None = None) -> str:
+    """The canonical name of a metric, optionally scoped to one shard.
+
+    Cluster shards share one :class:`MetricRegistry`; per-shard views of a
+    metric live under ``base:shard`` (e.g. ``tick_duration_ms:servo-shard-0``)
+    while cluster-wide metrics use the bare ``base``.  Every producer and
+    consumer goes through this helper (and :func:`split_metric_name`) instead
+    of formatting the suffix ad hoc.
+    """
+    if shard is None:
+        return base
+    return f"{base}:{shard}"
+
+
+def split_metric_name(name: str) -> tuple[str, str | None]:
+    """Invert :func:`metric_name`: ``(base, shard-or-None)``."""
+    base, separator, shard = name.partition(":")
+    return (base, shard) if separator else (name, None)
+
+
 def _as_float_array(samples: Iterable[float]) -> np.ndarray:
     """Materialise samples as float64, zero-copy for an existing float array."""
     if isinstance(samples, np.ndarray):
@@ -361,6 +381,42 @@ class MetricRegistry:
     @property
     def counter_names(self) -> list[str]:
         return sorted(self._counters)
+
+    def to_dict(self) -> dict[str, dict]:
+        """A deterministic, JSON-serializable snapshot of every metric.
+
+        Keys are sorted and every value is a virtual-time statistic, so the
+        snapshot — like everything else derived from a run's metrics — is a
+        pure function of the seed.  Histograms summarize as their boxplot
+        stats (``{"count": 0.0}`` when empty), series as count/time-range/
+        mean/last.
+        """
+        histograms: dict[str, dict[str, float]] = {}
+        for name in self.histogram_names:
+            histogram = self._histograms[name]
+            if len(histogram) == 0:
+                histograms[name] = {"count": 0.0}
+            else:
+                histograms[name] = histogram.boxplot().as_dict()
+        series: dict[str, dict[str, float]] = {}
+        for name in self.series_names:
+            entry = self._series[name]
+            if len(entry) == 0:
+                series[name] = {"count": 0.0}
+            else:
+                values = entry._values.view()
+                series[name] = {
+                    "count": float(len(entry)),
+                    "start_ms": float(entry._times.view()[0]),
+                    "end_ms": float(entry._times.view()[-1]),
+                    "mean": float(values.mean()),
+                    "last": float(values[-1]),
+                }
+        return {
+            "counters": {name: self._counters[name] for name in self.counter_names},
+            "histograms": histograms,
+            "series": series,
+        }
 
     def clear(self) -> None:
         self._histograms.clear()

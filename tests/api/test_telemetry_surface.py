@@ -1,0 +1,99 @@
+"""The telemetry surface of the public API: spec key, CLI flags, report cmd."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import RunSpec
+from repro.api.cli import main
+
+TINY = {
+    "host": {"game": "opencraft", "game_config": {"world_type": "flat"}},
+    "workload": {"scenario": "behaviour_a", "params": {"players": 2}},
+    "seed": 5,
+    "duration_s": 1.0,
+}
+
+
+class TestSpecTelemetryKey:
+    def test_round_trip(self):
+        data = {**TINY, "telemetry": {"enabled": True, "profile": True}}
+        spec = RunSpec.from_dict(data)
+        assert spec.telemetry == {"enabled": True, "profile": True}
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["telemetry"] == {"enabled": True, "profile": True}
+
+    def test_absent_by_default(self):
+        spec = RunSpec.from_dict(TINY)
+        assert spec.telemetry is None
+        assert "telemetry" not in spec.to_dict()
+
+    @pytest.mark.parametrize(
+        "telemetry, match",
+        [
+            ({"bogus": 1}, "unknown telemetry key"),
+            ({"enabled": "yes"}, "must be a boolean"),
+            ({"trace_path": ""}, "non-empty string"),
+            (17, "must be a mapping"),
+        ],
+    )
+    def test_validation_rejects(self, telemetry, match):
+        with pytest.raises(ValueError, match=match):
+            RunSpec.from_dict({**TINY, "telemetry": telemetry})
+
+
+class TestCliTrace:
+    def run_flags(self, *extra: str) -> list[str]:
+        return [
+            "run",
+            "--game", "opencraft",
+            "--scenario", "behaviour_a",
+            "--players", "2",
+            "--world-type", "flat",
+            "--duration-s", "1",
+            "--seed", "5",
+            *extra,
+        ]
+
+    def test_trace_and_metrics_flags_write_files(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            self.run_flags(
+                "--trace", str(trace), "--metrics-out", str(metrics), "--profile"
+            )
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert f"metrics written to {metrics}" in out
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+        assert "wallProfile" in payload  # --profile adds the wall section
+        assert "repro_tick_duration_ms" in metrics.read_text()
+
+    def test_report_renders_the_breakdown(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(self.run_flags("--trace", str(trace))) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "tick" in out and "share" in out
+
+    def test_report_rejects_broken_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "Z", "name": "x"}]}))
+        assert main(["report", str(bad)]) == 1
+        assert "schema problem" in capsys.readouterr().err
+
+    def test_report_rejects_non_trace_json(self, tmp_path, capsys):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1]")
+        assert main(["report", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
