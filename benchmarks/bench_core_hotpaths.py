@@ -148,10 +148,22 @@ def _hash_run(tick_durations_ms: list, constructs: list) -> str:
     return hasher.hexdigest()
 
 
-def run_construct_heavy(ticks: int, players: int = 25) -> HotPathResult:
-    """Scenario (a): one baseline server with a heavy, varied construct fleet."""
+def run_construct_heavy(
+    ticks: int, players: int = 25, interest_radius_chunks: int | None = None
+) -> HotPathResult:
+    """Scenario (a): one baseline server with a heavy, varied construct fleet.
+
+    With ``interest_radius_chunks`` set the server routes broadcasts through
+    the area-of-interest subscription index; ``None`` is the legacy full
+    broadcast, whose virtual results must be bit-identical to the recorded
+    pre-PR hash (the interest machinery must be invisible when off).
+    """
     engine = SimulationEngine(seed=SEED)
-    server = build_game_server("opencraft", engine, GameConfig(world_type="flat"))
+    server = build_game_server(
+        "opencraft",
+        engine,
+        GameConfig(world_type="flat", interest_radius_chunks=interest_radius_chunks),
+    )
     server.chunks.preload_area(server.config.spawn_position, 96.0)
     for construct in _construct_fleet():
         server.place_construct(construct)
@@ -165,9 +177,12 @@ def run_construct_heavy(ticks: int, players: int = 25) -> HotPathResult:
         [record.duration_ms for record in server.tick_records],
         server.constructs.constructs(),
     )
-    return HotPathResult(
-        name="construct_heavy", ticks=ticks, wall_s=wall_s, determinism_hash=digest
+    name = (
+        "construct_heavy"
+        if interest_radius_chunks is None
+        else f"interest_r{interest_radius_chunks}"
     )
+    return HotPathResult(name=name, ticks=ticks, wall_s=wall_s, determinism_hash=digest)
 
 
 def run_cluster_quick(
@@ -280,6 +295,27 @@ def main(argv: list | None = None) -> int:
         f"workers={max(2, args.workers)} {parallel.ticks_per_s:.1f} t/s [{marker}]"
     )
 
+    # The interest series: the same construct-heavy server with the
+    # area-of-interest broadcast on.  The legacy run above doubles as its
+    # baseline; at quick scale its hash is hard-gated against the recorded
+    # pre-PR hash — radius None must keep the legacy path bit-identical.
+    interest_on, interest_stable = _measure_twice(run_construct_heavy, construct_ticks, 25, 4)
+    legacy_result = results["construct_heavy"]
+    recorded_legacy_hash = PRE_PR_BASELINE["construct_heavy"]["determinism_hash"]
+    legacy_hash_ok = (
+        scale != "quick" or legacy_result.determinism_hash == recorded_legacy_hash
+    )
+    if not legacy_hash_ok:
+        marker = "LEGACY HASH DRIFT"
+    elif not interest_stable:
+        marker = "HASH DRIFT"
+    else:
+        marker = "ok"
+    print(
+        f"interest: legacy {legacy_result.ticks_per_s:.1f} t/s vs "
+        f"radius=4 {interest_on.ticks_per_s:.1f} t/s [{marker}]"
+    )
+
     report = {
         "benchmark": "core_hotpaths",
         "scale": scale,
@@ -292,6 +328,11 @@ def main(argv: list | None = None) -> int:
             "cluster_quick_workers_1": serial.as_dict(),
             "cluster_quick_workers_n": parallel.as_dict(),
             "hashes_identical": parallel_identical,
+        },
+        "interest": {
+            "legacy": legacy_result.as_dict(),
+            "radius_4": interest_on.as_dict(),
+            "legacy_matches_pre_pr": legacy_hash_ok,
         },
         "speedup_vs_pre_pr": {},
     }
@@ -315,6 +356,12 @@ def main(argv: list | None = None) -> int:
         return 1
     if not parallel_identical:
         print("FAIL: workers=1 and workers=N produced different virtual results")
+        return 1
+    if not legacy_hash_ok:
+        print("FAIL: legacy broadcast drifted from the recorded pre-PR hash")
+        return 1
+    if not interest_stable:
+        print("FAIL: interest-enabled runs drifted between back-to-back runs")
         return 1
     if args.assert_identity and not all(matches_pre_pr.values()):
         print(f"FAIL: virtual results drifted from pre-PR hashes: {matches_pre_pr}")

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Interest-management smoke test: the player ceiling lifts and bounds hold.
+
+Three gates, all at quick scale with a fixed seed (used by the CI
+``interest-smoke`` job):
+
+1. **Player ceiling** — a quick fig07a-style max-players search runs on the
+   opencraft baseline twice: once with the legacy observe-everything
+   broadcast and once with area-of-interest broadcast enabled
+   (``interest_radius_chunks=4``).  Interest management must sustain at least
+   ``MIN_CEILING_RATIO`` (1.5x) the legacy player ceiling at the same P99
+   tick budget.
+2. **Staleness bounds** — an interest-enabled run is inspected through the
+   ``consistency_error`` metric: the largest staleness observed at any flush
+   must never exceed the configured ``interest_max_staleness_ticks`` budget.
+3. **Determinism** — the interest-enabled run executes twice with the same
+   seed and must produce bit-identical tick durations and flush counters.
+
+Exit status is non-zero on any violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/interest_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.harness import ExperimentSettings, build_game_server
+from repro.experiments.max_players import find_max_players
+from repro.server import GameConfig
+from repro.sim import SimulationEngine
+from repro.sim.metrics import CONSISTENCY_ERROR_HISTOGRAM, metric_name
+from repro.workload.scenarios import behaviour_a
+
+SEED = 42
+INTEREST_RADIUS = 4
+MIN_CEILING_RATIO = 1.5
+
+SWEEP_SETTINGS = ExperimentSettings(
+    seed=SEED, duration_s=8.0, player_step=50, max_players=600
+)
+
+
+def check_player_ceiling() -> list[str]:
+    failures = []
+    legacy = find_max_players("opencraft", 0, SWEEP_SETTINGS)
+    interest = find_max_players(
+        "opencraft",
+        0,
+        SWEEP_SETTINGS,
+        game_config=GameConfig(
+            world_type="flat", interest_radius_chunks=INTEREST_RADIUS
+        ),
+    )
+    if legacy.max_players <= 0:
+        failures.append("ceiling: legacy search found no supported player count")
+        return failures
+    ratio = interest.max_players / legacy.max_players
+    if ratio < MIN_CEILING_RATIO:
+        failures.append(
+            f"ceiling: interest sustains only {ratio:.2f}x the legacy ceiling "
+            f"({interest.max_players} vs {legacy.max_players}), "
+            f"need >= {MIN_CEILING_RATIO}x"
+        )
+    else:
+        print(
+            f"ceiling: legacy {legacy.max_players} -> interest "
+            f"{interest.max_players} players ({ratio:.1f}x) [ok]"
+        )
+    return failures
+
+
+def _interest_run() -> tuple[list, float, dict]:
+    """One interest-enabled run; returns (tick durations, staleness max, counters)."""
+    engine = SimulationEngine(seed=SEED)
+    config = GameConfig(world_type="flat", interest_radius_chunks=INTEREST_RADIUS)
+    server = build_game_server("opencraft", engine, config)
+    scenario = behaviour_a(players=60, constructs=20, duration_s=8.0)
+    result = scenario.run(server)
+    histogram = engine.metrics.histogram(metric_name(CONSISTENCY_ERROR_HISTOGRAM))
+    staleness_max = histogram.maximum() if len(histogram) else 0.0
+    counters = {
+        name: engine.metrics.counter(name)
+        for name in ("interest_entries_flushed", "interest_flushes")
+    }
+    return result.tick_durations_ms, staleness_max, counters
+
+
+def check_staleness_and_determinism() -> list[str]:
+    failures = []
+    bound = GameConfig().interest_max_staleness_ticks
+    first = _interest_run()
+    second = _interest_run()
+    durations, staleness_max, counters = first
+    if staleness_max > bound:
+        failures.append(
+            f"staleness: observed max {staleness_max:.0f} ticks exceeds the "
+            f"configured bound of {bound}"
+        )
+    else:
+        print(f"staleness: max {staleness_max:.0f} <= bound {bound} ticks [ok]")
+    if counters["interest_flushes"] <= 0:
+        failures.append("staleness: interest mode flushed nothing")
+    if first != second:
+        failures.append("determinism: same-seed interest reruns diverged")
+    else:
+        print(
+            f"determinism: {counters['interest_flushes']:.0f} flushes, "
+            f"{counters['interest_entries_flushed']:.0f} entries, "
+            "bit-identical rerun [ok]"
+        )
+    return failures
+
+
+def main() -> int:
+    failures = check_player_ceiling() + check_staleness_and_determinism()
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(wall-clock only; virtual results are identical)",
     )
     run.add_argument("--world-type", choices=("default", "flat"), help="game world type")
+    run.add_argument(
+        "--interest-radius",
+        type=int,
+        metavar="CHUNKS",
+        help="area-of-interest subscription radius in chunks "
+        "(0 = legacy observe-everything broadcast)",
+    )
     run.add_argument("--provider", choices=("aws", "azure"), help="Servo cloud provider")
     run.add_argument("--seed", type=int, help="simulation seed")
     run.add_argument("--duration-s", type=float, help="measured virtual seconds")
@@ -202,6 +209,9 @@ def _spec_dict_from_args(args: argparse.Namespace) -> dict:
         host["workers"] = args.workers
     if args.world_type is not None:
         game_config["world_type"] = args.world_type
+    if args.interest_radius is not None:
+        # 0 maps to None: both mean the legacy full broadcast.
+        game_config["interest_radius_chunks"] = args.interest_radius or None
     if args.provider is not None:
         servo_config["provider"] = args.provider
     if args.scenario is not None:

@@ -211,6 +211,16 @@ class ClusterCoordinator(TickLoop):
         self._dead: dict[int, _DeadShard] = {}
         self._generations: dict[int, int] = {}
         self.recovery_records: list[ShardRecoveryRecord] = []
+        # With interest management on, shards log their dirty events so the
+        # coordinator can relay edits near zone boundaries to the shards whose
+        # players subscribe to those chunks from across the boundary.
+        self._interest_routing = len(shards) > 1 and any(
+            shard.interest is not None for shard in shards
+        )
+        if self._interest_routing:
+            for shard in shards:
+                if shard.interest is not None:
+                    shard.interest.record_dirty_log = True
 
     # -- cluster shape ---------------------------------------------------------------
 
@@ -329,11 +339,19 @@ class ClusterCoordinator(TickLoop):
             read_op = self.session_store.read(key)
             state = read_op.data or state
             latency_ms = write_op.latency_ms + read_op.latency_ms
+        # Pending interest deltas travel with the player: export before the
+        # source unsubscribes, import after the target re-subscribes, so a
+        # far-tier budget already half-spent stays spent across the handoff.
+        interest_state = None
+        if source.interest is not None:
+            interest_state = source.interest.export_state(proxy.player_id)
         source.disconnect_player(proxy.player_id, persist=False)
         session = target.connect_player(
             proxy.name, position=position, player_id=proxy.player_id, restore=False
         )
         restore_avatar_state(session.avatar, state, restore_position=False)
+        if interest_state is not None and target.interest is not None:
+            target.interest.import_state(proxy.player_id, interest_state)
         for message in pending:
             session.enqueue(message)
 
@@ -386,6 +404,32 @@ class ClusterCoordinator(TickLoop):
     @property
     def migration_count(self) -> int:
         return len(self.migration_records)
+
+    def _route_cross_shard_updates(self) -> None:
+        """Relay this round's dirty events to subscribers on other shards.
+
+        Interest makes cross-shard traffic *selective*: an edit is relayed to
+        a neighbouring shard only when at least one of that shard's players
+        actually subscribes to the edited chunk — shards with no interested
+        player never hear about it.  Relayed events land after the target
+        shard's flush, so they are flushed next round (one round of relay
+        latency, identical for every same-seed run).
+        """
+        events_relayed = 0
+        for slot, shard in enumerate(self.shards):
+            if shard.interest is None or slot in self._dead:
+                continue
+            for chunk, entries, drift, source_player_id in shard.interest.drain_dirty_log():
+                for other_slot, other in enumerate(self.shards):
+                    if other_slot == slot or other.interest is None or other_slot in self._dead:
+                        continue
+                    if other.interest.has_subscribers(chunk):
+                        other.interest.note_external(
+                            chunk, entries, drift, source_player_id
+                        )
+                        events_relayed += 1
+        if events_relayed:
+            self.engine.metrics.increment("interest_cross_shard_events", events_relayed)
 
     # -- shard crash-recovery --------------------------------------------------------
 
@@ -447,6 +491,8 @@ class ClusterCoordinator(TickLoop):
         replacement = self.shard_factory(slot, generation)
         for wire in self.shard_wirers:
             wire(replacement)
+        if self._interest_routing and replacement.interest is not None:
+            replacement.interest.record_dirty_log = True
         self.shards[slot] = replacement
 
         constructs_recovered = 0
@@ -550,6 +596,8 @@ class ClusterCoordinator(TickLoop):
             shard_records.append(
                 shard.tick_finish(progress, fixed_points, advance_clock=False)
             )
+        if self._interest_routing:
+            self._route_cross_shard_updates()
         self._migrate_crossed_players()
 
         if shard_records:

@@ -56,10 +56,14 @@ def _fraction_over_budget(
     constructs: int,
     settings: ExperimentSettings,
     servo_config: ServoConfig | None,
+    game_config: GameConfig | None = None,
 ) -> float:
     engine = SimulationEngine(seed=settings.seed)
     server = build_game_server(
-        game, engine, GameConfig(world_type="flat"), servo_config=servo_config
+        game,
+        engine,
+        game_config or GameConfig(world_type="flat"),
+        servo_config=servo_config,
     )
     scenario = behaviour_a(
         players=players, constructs=constructs, duration_s=settings.duration_s
@@ -74,8 +78,14 @@ def find_max_players(
     settings: ExperimentSettings | None = None,
     servo_config: ServoConfig | None = None,
     qos_tolerance: float = 0.05,
+    game_config: GameConfig | None = None,
 ) -> MaxPlayersResult:
-    """Find the maximum supported player count for a game and construct count."""
+    """Find the maximum supported player count for a game and construct count.
+
+    ``game_config`` overrides the default flat-world config — e.g. to enable
+    area-of-interest broadcast (``interest_radius_chunks``) and measure the
+    player ceiling it buys.
+    """
     settings = settings or ExperimentSettings()
     candidates = list(
         range(settings.player_step, settings.max_players + 1, settings.player_step)
@@ -83,7 +93,9 @@ def find_max_players(
     result = MaxPlayersResult(game=game, constructs=constructs, max_players=0)
 
     def supports(players: int) -> bool:
-        fraction = _fraction_over_budget(game, players, constructs, settings, servo_config)
+        fraction = _fraction_over_budget(
+            game, players, constructs, settings, servo_config, game_config
+        )
         result.evaluated[players] = fraction
         return fraction < qos_tolerance
 

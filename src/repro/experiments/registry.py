@@ -31,6 +31,7 @@ from repro.experiments.fig12_terrain_scalability import (
     run_fig12b,
 )
 from repro.experiments.fig13_cache_latency import format_fig13, run_fig13
+from repro.experiments.flash_crowd import format_flash_crowd, run_flash_crowd
 from repro.experiments.harness import ExperimentSettings
 from repro.experiments.sec4g_construct_perf import format_sec4g, run_sec4g
 from repro.experiments.tab01_overview import format_tab01, run_tab01
@@ -76,6 +77,12 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
         "Aggregate max players of zone-partitioned clusters (beyond the paper)",
         run_cluster_scalability,
         format_cluster_scalability,
+    ),
+    "flash-crowd": ExperimentEntry(
+        "flash-crowd",
+        "Flash crowd at spawn: interest management vs legacy broadcast (beyond the paper)",
+        run_flash_crowd,
+        format_flash_crowd,
     ),
 }
 

@@ -53,6 +53,26 @@ class DegradationController:
                 self._record("degradation.shed", f"{self.server_name} players={shed}")
         return shed
 
+    def shed_flush_count(self, due_flushes: int) -> int:
+        """How many due far-tier flushes to defer this tick (interest mode).
+
+        With interest management there is no full per-player broadcast to
+        skip; degradation instead widens far-tier error budgets by deferring
+        a fraction of the flushes that came due.  The shed count is computed
+        from the *due flushes after interest filtering* — never from the
+        player count, which would shed phantom full-broadcast work.
+        """
+        if not self._over_budget or due_flushes <= 0:
+            return 0
+        shed = int(due_flushes * self.policy.shed_fraction)
+        if shed > 0:
+            self.shedding_ticks += 1
+            self.updates_shed += shed
+            self.metrics.increment("broadcast_updates_shed", shed)
+            if self._record is not None:
+                self._record("degradation.shed", f"{self.server_name} flushes={shed}")
+        return shed
+
     def observe(self, duration_ms: float) -> None:
         """Feed back the tick's duration; decides whether the next tick sheds."""
         self._over_budget = duration_ms > self.policy.budget_ms

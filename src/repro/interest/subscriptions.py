@@ -1,0 +1,417 @@
+"""Subscription bookkeeping: the chunk-to-subscriber index and flush logic.
+
+The :class:`InterestMap` is the broadcast path's routing table.  Each
+connected session holds one :class:`Subscription` covering the square of
+chunks within ``radius_chunks`` (Chebyshev) of its avatar's chunk; the map
+maintains the inverse index — chunk to subscribers — incrementally, updated
+only when a player joins, leaves, migrates or crosses a chunk boundary, so
+routing one dirty entry is O(subscribers of that chunk), not O(players).
+
+Consistency follows the dyconit model.  A subscription's footprint splits
+into two tiers by distance from its center: *near* chunks (within
+``near_radius_chunks``) flush every tick — players can perceive staleness
+next to them; *far* chunks accumulate delta entries and flush only when an
+error budget would otherwise be violated: entries older than
+``max_staleness_ticks`` ticks, or accumulated positional drift beyond
+``max_drift_blocks`` blocks.  The staleness observed at every flush is
+reported so runs can *prove* the bounds held.
+
+Entries are encoded on write: a dirty entry with at least one (non-source)
+subscriber is serialized once, whatever the subscriber count — the cost
+model charges ``per_update_entry_ms`` per encoded entry plus
+``per_update_flush_ms`` per batch send, replacing the legacy
+``per_player_ms`` full fan-out.
+
+The map draws no randomness and iterates insertion-ordered dicts only, so
+interest-enabled runs stay bit-deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.batch import FAR_TIER, NEAR_TIER, BatchStream, UpdateBatch
+from repro.world.coords import CHUNK_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.session import PlayerSession
+
+ChunkKey = tuple[int, int]
+
+
+@lru_cache(maxsize=32)
+def _square_offsets(radius_chunks: int) -> tuple[ChunkKey, ...]:
+    """Chunk offsets within Chebyshev ``radius_chunks`` of the origin."""
+    return tuple(
+        (dx, dz)
+        for dx in range(-radius_chunks, radius_chunks + 1)
+        for dz in range(-radius_chunks, radius_chunks + 1)
+    )
+
+
+@dataclass(frozen=True)
+class SubscriptionState:
+    """The serializable part of a subscription (migration handoff payload)."""
+
+    near_entries: int
+    far_entries: int
+    far_first_tick: Optional[int]
+    far_drift: float
+
+
+@dataclass
+class Subscription:
+    """One session's area-of-interest state."""
+
+    player_id: int
+    session: "PlayerSession"
+    #: chunk coordinates of the subscription's center (the avatar's chunk)
+    center: ChunkKey
+    #: near-tier entries pending since this tick (flushed every tick)
+    near_entries: int = 0
+    #: far-tier entries accumulated since the last far flush
+    far_entries: int = 0
+    #: tick at which the oldest pending far entry was produced
+    far_first_tick: Optional[int] = None
+    #: positional drift (blocks) accumulated in the far tier since last flush
+    far_drift: float = 0.0
+
+    def export_state(self) -> SubscriptionState:
+        return SubscriptionState(
+            near_entries=self.near_entries,
+            far_entries=self.far_entries,
+            far_first_tick=self.far_first_tick,
+            far_drift=self.far_drift,
+        )
+
+
+@dataclass
+class FlushReport:
+    """What one per-tick flush pass did (feeds the cost model and metrics)."""
+
+    #: delta entries encoded this tick (each charged once, encode-on-write)
+    entries_encoded: int = 0
+    #: batch sends: near flushes plus due far flushes actually sent
+    flushes: int = 0
+    near_flushes: int = 0
+    far_flushes: int = 0
+    #: far batches whose budget expired this tick (before shedding)
+    far_due: int = 0
+    #: due far batches deferred by graceful degradation (budget widening)
+    flushes_shed: int = 0
+    #: largest staleness (ticks) observed across this tick's flushes
+    staleness_max: int = 0
+    #: sum of flush staleness values (mean = staleness_sum / flushes)
+    staleness_sum: int = 0
+    #: largest accumulated drift (blocks) observed at a far flush
+    drift_max: float = 0.0
+
+    @property
+    def staleness_mean(self) -> float:
+        return self.staleness_sum / self.flushes if self.flushes else 0.0
+
+
+class InterestMap:
+    """Chunk-radius subscriptions with tiered, budget-bounded flushing."""
+
+    def __init__(
+        self,
+        radius_chunks: int,
+        near_radius_chunks: int = 1,
+        max_staleness_ticks: int = 5,
+        max_drift_blocks: float = 8.0,
+    ) -> None:
+        if radius_chunks < 1:
+            raise ValueError("an InterestMap needs a positive radius (0/None = legacy)")
+        if not 0 <= near_radius_chunks <= radius_chunks:
+            raise ValueError("near_radius_chunks must be within [0, radius_chunks]")
+        if max_staleness_ticks < 1:
+            raise ValueError("max_staleness_ticks must be at least 1")
+        if max_drift_blocks <= 0:
+            raise ValueError("max_drift_blocks must be positive")
+        self.radius_chunks = int(radius_chunks)
+        self.near_radius_chunks = int(near_radius_chunks)
+        self.max_staleness_ticks = int(max_staleness_ticks)
+        self.max_drift_blocks = float(max_drift_blocks)
+        self._subs: dict[int, Subscription] = {}
+        #: inverse index: chunk -> insertion-ordered subscribers
+        self._chunk_subs: dict[ChunkKey, dict[int, Subscription]] = {}
+        #: entries encoded since the last flush (encode-on-write accounting)
+        self._entries_encoded = 0
+        #: the tick entries noted now belong to (advanced by ``flush``)
+        self._tick = 0
+        #: when True, every local dirty event is also appended to the dirty
+        #: log for cross-shard routing (set by the cluster coordinator)
+        self.record_dirty_log = False
+        self._dirty_log: list[tuple[ChunkKey, int, float, Optional[int]]] = []
+        #: optional sink receiving every flushed (sequence-stamped) batch;
+        #: None keeps the hot path allocation-free
+        self.batch_sink: Optional[Callable[[UpdateBatch], None]] = None
+        self._batch_stream = BatchStream()
+
+    # -- shape -----------------------------------------------------------------------
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subs)
+
+    def subscription(self, player_id: int) -> Optional[Subscription]:
+        return self._subs.get(player_id)
+
+    def has_subscribers(self, chunk: ChunkKey) -> bool:
+        """True when at least one session subscribes to ``chunk``."""
+        return chunk in self._chunk_subs
+
+    @staticmethod
+    def chunk_of(position) -> ChunkKey:
+        """The chunk key of a block position (matches the chunk manager's)."""
+        return (position.x // CHUNK_SIZE, position.z // CHUNK_SIZE)
+
+    def _footprint(self, center: ChunkKey) -> set[ChunkKey]:
+        cx, cz = center
+        return {(cx + dx, cz + dz) for dx, dz in _square_offsets(self.radius_chunks)}
+
+    # -- membership ------------------------------------------------------------------
+
+    def subscribe(self, session: "PlayerSession") -> Subscription:
+        """Register a session, centered on its avatar's current chunk."""
+        player_id = session.player_id
+        if player_id in self._subs:
+            raise ValueError(f"player {player_id} is already subscribed")
+        sub = Subscription(
+            player_id=player_id,
+            session=session,
+            center=self.chunk_of(session.avatar.position),
+        )
+        self._subs[player_id] = sub
+        for chunk in sorted(self._footprint(sub.center)):
+            self._chunk_subs.setdefault(chunk, {})[player_id] = sub
+        return sub
+
+    def unsubscribe(self, player_id: int) -> Optional[SubscriptionState]:
+        """Drop a session's subscription; returns its pending state (or None)."""
+        sub = self._subs.pop(player_id, None)
+        if sub is None:
+            return None
+        for chunk in self._footprint(sub.center):
+            owners = self._chunk_subs.get(chunk)
+            if owners is not None:
+                owners.pop(player_id, None)
+                if not owners:
+                    del self._chunk_subs[chunk]
+        return sub.export_state()
+
+    def update_center(self, player_id: int, center: ChunkKey) -> None:
+        """Move a subscription's footprint after a chunk-boundary crossing."""
+        sub = self._subs.get(player_id)
+        if sub is None or sub.center == center:
+            return
+        old_footprint = self._footprint(sub.center)
+        new_footprint = self._footprint(center)
+        for chunk in old_footprint - new_footprint:
+            owners = self._chunk_subs.get(chunk)
+            if owners is not None:
+                owners.pop(player_id, None)
+                if not owners:
+                    del self._chunk_subs[chunk]
+        for chunk in sorted(new_footprint - old_footprint):
+            self._chunk_subs.setdefault(chunk, {})[player_id] = sub
+        sub.center = center
+
+    # -- migration handoff -----------------------------------------------------------
+
+    def import_state(self, player_id: int, state: SubscriptionState) -> None:
+        """Restore pending delta accounting onto a freshly subscribed player.
+
+        The far tier's first-entry tick is clamped to this map's current tick
+        so a handoff into a younger server (e.g. a respawned shard whose tick
+        counter restarted) never produces negative staleness.
+        """
+        sub = self._subs.get(player_id)
+        if sub is None:
+            raise KeyError(f"player {player_id} is not subscribed")
+        sub.near_entries += state.near_entries
+        if state.far_entries:
+            sub.far_entries += state.far_entries
+            sub.far_drift += state.far_drift
+            imported_first = (
+                state.far_first_tick if state.far_first_tick is not None else self._tick
+            )
+            imported_first = min(imported_first, self._tick)
+            sub.far_first_tick = (
+                imported_first
+                if sub.far_first_tick is None
+                else min(sub.far_first_tick, imported_first)
+            )
+
+    def export_state(self, player_id: int) -> Optional[SubscriptionState]:
+        sub = self._subs.get(player_id)
+        return sub.export_state() if sub is not None else None
+
+    # -- dirty entries ---------------------------------------------------------------
+
+    def note_dirty(
+        self,
+        chunk: ChunkKey,
+        entries: int = 1,
+        drift: float = 0.0,
+        source_player_id: Optional[int] = None,
+    ) -> None:
+        """Route a local dirty event to the chunk's subscribers.
+
+        The event is also appended to the dirty log when cross-shard routing
+        is on — even with no local subscribers, since a neighbouring shard's
+        players may subscribe to this chunk across the zone boundary.
+        """
+        if self.record_dirty_log:
+            self._dirty_log.append((chunk, entries, drift, source_player_id))
+        self._route(chunk, entries, drift, source_player_id)
+
+    def note_external(
+        self,
+        chunk: ChunkKey,
+        entries: int = 1,
+        drift: float = 0.0,
+        source_player_id: Optional[int] = None,
+    ) -> None:
+        """Route a dirty event relayed from another shard (never re-logged)."""
+        self._route(chunk, entries, drift, source_player_id)
+
+    def drain_dirty_log(self) -> list[tuple[ChunkKey, int, float, Optional[int]]]:
+        """Return and clear this tick's dirty events (cross-shard routing)."""
+        events, self._dirty_log = self._dirty_log, []
+        return events
+
+    def _route(
+        self,
+        chunk: ChunkKey,
+        entries: int,
+        drift: float,
+        source_player_id: Optional[int],
+    ) -> None:
+        subscribers = self._chunk_subs.get(chunk)
+        if not subscribers:
+            return
+        near_radius = self.near_radius_chunks
+        tick = self._tick
+        delivered = False
+        for sub in subscribers.values():
+            if sub.player_id == source_player_id:
+                continue  # a player needs no update about its own action
+            delivered = True
+            center = sub.center
+            if (
+                abs(chunk[0] - center[0]) <= near_radius
+                and abs(chunk[1] - center[1]) <= near_radius
+            ):
+                sub.near_entries += entries
+            else:
+                sub.far_entries += entries
+                sub.far_drift += drift
+                if sub.far_first_tick is None:
+                    sub.far_first_tick = tick
+        if delivered:
+            # Encode-on-write: the entry is serialized once and shared by
+            # every subscriber's batch.
+            self._entries_encoded += entries
+
+    # -- the per-tick flush ----------------------------------------------------------
+
+    def flush(
+        self,
+        tick_index: int,
+        shed_far: Optional[Callable[[int], int]] = None,
+    ) -> FlushReport:
+        """Flush near tiers and budget-expired far tiers; report what was sent.
+
+        ``shed_far`` is graceful degradation's hook: called with the number
+        of *due* far batches, it returns how many to defer to a later tick
+        (the least-stale ones are deferred first, widening their budgets
+        instead of blacking anyone out).
+        """
+        report = FlushReport()
+        report.entries_encoded = self._entries_encoded
+        self._entries_encoded = 0
+
+        due_far: list[tuple[int, Subscription]] = []
+        for sub in self._subs.values():
+            if sub.near_entries:
+                self._send(sub, NEAR_TIER, tick_index, tick_index, report)
+                sub.near_entries = 0
+            if sub.far_entries:
+                staleness = tick_index - (
+                    sub.far_first_tick if sub.far_first_tick is not None else tick_index
+                )
+                if (
+                    staleness >= self.max_staleness_ticks
+                    or sub.far_drift >= self.max_drift_blocks
+                ):
+                    due_far.append((staleness, sub))
+        report.far_due = len(due_far)
+
+        shed = shed_far(len(due_far)) if shed_far is not None and due_far else 0
+        if shed > 0:
+            # Defer the least-stale batches: their budgets widen, while the
+            # most overdue subscribers still get their flush.
+            due_far.sort(key=lambda item: (item[0], item[1].far_drift, item[1].player_id))
+            shed = min(shed, len(due_far))
+            report.flushes_shed = shed
+            due_far = due_far[shed:]
+
+        for staleness, sub in due_far:
+            report.drift_max = max(report.drift_max, sub.far_drift)
+            first_tick = (
+                sub.far_first_tick if sub.far_first_tick is not None else tick_index
+            )
+            self._send(sub, FAR_TIER, first_tick, tick_index, report)
+            report.staleness_sum += staleness
+            report.staleness_max = max(report.staleness_max, staleness)
+            sub.far_entries = 0
+            sub.far_first_tick = None
+            sub.far_drift = 0.0
+
+        self._tick = tick_index + 1
+        return report
+
+    def _send(
+        self,
+        sub: Subscription,
+        tier: str,
+        first_tick: int,
+        flush_tick: int,
+        report: FlushReport,
+    ) -> None:
+        report.flushes += 1
+        if tier == NEAR_TIER:
+            report.near_flushes += 1
+        else:
+            report.far_flushes += 1
+        # updates_sent derives from actual flushes in interest mode (the
+        # BroadcastClock stays the legacy path).
+        sub.session.record_updates(1)
+        if self.batch_sink is not None:
+            batch = self._batch_stream.stamp(
+                UpdateBatch(
+                    player_id=sub.player_id,
+                    tier=tier,
+                    entries=sub.near_entries if tier == NEAR_TIER else sub.far_entries,
+                    first_tick=first_tick,
+                    flush_tick=flush_tick,
+                )
+            )
+            self.batch_sink(batch)
+
+    # -- invariants (test support) ---------------------------------------------------
+
+    def verify_index(self) -> bool:
+        """True when the inverse index matches a from-scratch recomputation."""
+        rebuilt: dict[ChunkKey, set[int]] = {}
+        for sub in self._subs.values():
+            for chunk in self._footprint(sub.center):
+                rebuilt.setdefault(chunk, set()).add(sub.player_id)
+        current = {
+            chunk: set(owners) for chunk, owners in self._chunk_subs.items() if owners
+        }
+        return current == rebuilt

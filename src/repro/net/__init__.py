@@ -6,7 +6,16 @@ models the network paths involved: player home to cloud (client-server), and
 game server to managed cloud services (intra-cloud).
 """
 
+from repro.net.batch import BatchReceiver, BatchStream, UpdateBatch
 from repro.net.latency import NetworkModel, NetworkPath
 from repro.net.message import Message, MessageKind
 
-__all__ = ["NetworkModel", "NetworkPath", "Message", "MessageKind"]
+__all__ = [
+    "NetworkModel",
+    "NetworkPath",
+    "Message",
+    "MessageKind",
+    "UpdateBatch",
+    "BatchStream",
+    "BatchReceiver",
+]

@@ -51,6 +51,11 @@ class _SeenWindow:
         return True
 
 
+#: public alias: the same bounded dedupe window also guards server-to-client
+#: update batches (see :mod:`repro.net.batch`)
+SeenWindow = _SeenWindow
+
+
 class FaultyMessageChannel:
     """The shared wire between clients and (all) servers of one run."""
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.cluster.parallel import ShardRoundExecutor, make_executor
+from repro.interest import InterestMap
 from repro.server.chunkmanager import (
     ChunkManager,
     LocalTerrainProvider,
@@ -58,6 +59,7 @@ class ServerBuilder:
         self._region: Optional[OwnershipRegion] = None
         self._runtime: Optional[ServerRuntime] = None
         self._player_ids: Optional[Iterator[int]] = None
+        self._interest: Optional[InterestMap] = None
 
     # -- services -------------------------------------------------------------------
 
@@ -116,10 +118,28 @@ class ServerBuilder:
         self._player_ids = player_ids
         return self
 
+    def with_interest(self, interest: Optional[InterestMap]) -> "ServerBuilder":
+        """Use a pre-built area-of-interest map (tests, custom budgets).
+
+        Without this, :meth:`build` derives one from the config's
+        ``interest_radius_chunks`` knobs; a ``None`` radius keeps the legacy
+        observe-everything broadcast.
+        """
+        self._interest = interest
+        return self
+
     # -- assembly -------------------------------------------------------------------
 
     def build(self) -> GameServer:
         config = self.config
+        interest = self._interest
+        if interest is None and config.interest_enabled:
+            interest = InterestMap(
+                radius_chunks=config.interest_radius_chunks,
+                near_radius_chunks=config.interest_near_radius_chunks,
+                max_staleness_ticks=config.interest_max_staleness_ticks,
+                max_drift_blocks=config.interest_max_drift_blocks,
+            )
         generator = make_terrain_generator(config.world_type, seed=config.world_seed)
         world = VoxelWorld()
         storage = self._storage
@@ -157,4 +177,5 @@ class ServerBuilder:
             region=self._region,
             player_ids=self._player_ids,
             executor=self._executor,
+            interest=interest,
         )

@@ -256,6 +256,11 @@ class ChunkManager:
         self.stream_cap_per_player = 3
         self._tick_counter = 0
         self.metrics = engine.metrics
+        #: called with (player_id, new_center_chunk) whenever a player
+        #: crosses a chunk boundary — the manager already detects crossings
+        #: for its own view caches, so interest subscriptions piggyback on
+        #: the same incremental signal instead of re-deriving it
+        self.center_listeners: list[Callable[[int, tuple[int, int]], None]] = []
 
     # -- startup ---------------------------------------------------------------------
 
@@ -398,6 +403,11 @@ class ChunkManager:
         for position in old_required - required:
             self._release_required(position)
         self._player_views[avatar.player_id] = (current_chunk, required)
+        if cached is not None:
+            # A genuine boundary crossing (first sight is handled by the
+            # subscription itself at connect time).
+            for listener in self.center_listeners:
+                listener(avatar.player_id, current_chunk)
         # Chunks that entered the view and were never sent to this client must
         # be streamed (a few per tick); clients cache terrain, so chunks sent
         # earlier are never re-sent.  The initial view download on connect is

@@ -33,6 +33,19 @@ class GameConfig:
     #: retain only the newest N tick/migration records (None = unbounded, the
     #: historical behaviour); run-wide summaries stay exact either way
     tick_record_cap: Optional[int] = None
+    #: area-of-interest radius in chunks around each player's avatar; ``None``
+    #: or 0 keeps the legacy observe-everything broadcast (bit-identical to
+    #: the pre-interest behaviour)
+    interest_radius_chunks: Optional[int] = None
+    #: chunks within this Chebyshev distance of the subscriber's center are
+    #: the *near* zone: their updates flush every tick
+    interest_near_radius_chunks: int = 1
+    #: dyconit staleness budget: a far-zone delta batch is flushed before any
+    #: of its entries becomes older than this many ticks
+    interest_max_staleness_ticks: int = 5
+    #: dyconit numerical-error budget: accumulated positional drift (blocks)
+    #: in a far zone that forces a flush before the staleness budget expires
+    interest_max_drift_blocks: float = 8.0
 
     def __post_init__(self) -> None:
         if self.simulation_rate_hz <= 0:
@@ -45,6 +58,25 @@ class GameConfig:
             raise ValueError("max_chunk_integrations_per_tick must be at least 1")
         if self.tick_record_cap is not None and self.tick_record_cap < 1:
             raise ValueError("tick_record_cap must be at least 1 (or None)")
+        if self.interest_radius_chunks is not None and self.interest_radius_chunks < 0:
+            raise ValueError("interest_radius_chunks must be non-negative (or None)")
+        if self.interest_near_radius_chunks < 0:
+            raise ValueError("interest_near_radius_chunks must be non-negative")
+        if self.interest_enabled and (
+            self.interest_near_radius_chunks > self.interest_radius_chunks
+        ):
+            raise ValueError(
+                "interest_near_radius_chunks must not exceed interest_radius_chunks"
+            )
+        if self.interest_max_staleness_ticks < 1:
+            raise ValueError("interest_max_staleness_ticks must be at least 1")
+        if self.interest_max_drift_blocks <= 0:
+            raise ValueError("interest_max_drift_blocks must be positive")
+
+    @property
+    def interest_enabled(self) -> bool:
+        """True when area-of-interest broadcast is on (radius ``None``/0 = legacy)."""
+        return bool(self.interest_radius_chunks)
 
     @property
     def tick_interval_ms(self) -> float:

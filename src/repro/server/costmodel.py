@@ -54,6 +54,17 @@ class TickWork:
     construct_tick: bool = False
     #: players whose state-update broadcast was shed (graceful degradation)
     broadcast_players_shed: int = 0
+    #: True when the broadcast went through area-of-interest delta batches;
+    #: the cost model then charges per flushed entry/batch instead of the
+    #: legacy per-player full fan-out
+    interest_enabled: bool = False
+    #: delta entries encoded into update batches this tick (each dirty entry
+    #: is serialized once and shared by every subscriber's batch)
+    update_entries_flushed: int = 0
+    #: per-subscriber batch sends this tick (near flushes plus due far flushes)
+    update_flushes: int = 0
+    #: due far-zone flushes deferred by graceful degradation this tick
+    update_flushes_shed: int = 0
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,13 @@ class TickCostModel:
     per_chunk_streamed_ms: float
     #: ambient upkeep per loaded chunk
     per_loaded_chunk_ms: float
+    #: cost of encoding one delta entry into an update batch (interest mode;
+    #: encode-on-write, so an entry is charged once however many subscribers
+    #: receive it)
+    per_update_entry_ms: float = 0.030
+    #: cost of sending one already-encoded batch to one subscriber (interest
+    #: mode)
+    per_update_flush_ms: float = 0.040
     #: multiplicative lognormal noise sigma
     noise_sigma: float = 0.03
     #: probability of a latency spike (GC pause and similar)
@@ -95,7 +113,15 @@ class TickCostModel:
     def duration_ms(self, work: TickWork, rng: np.random.Generator) -> float:
         """The virtual duration of a tick that performed ``work``."""
         duration = self.base_ms
-        duration += self.per_player_ms * (work.players - work.broadcast_players_shed)
+        if work.interest_enabled:
+            # Delta-batch broadcast: each dirty entry is encoded once, each
+            # subscriber receives one batch per flushed tier.  Far-zone
+            # batches accumulate across ticks (dyconit staleness budgets), so
+            # both terms are far below the legacy full fan-out.
+            duration += self.per_update_entry_ms * work.update_entries_flushed
+            duration += self.per_update_flush_ms * work.update_flushes
+        else:
+            duration += self.per_player_ms * (work.players - work.broadcast_players_shed)
         duration += self.per_action_ms * work.actions
         if work.constructs_simulated_locally > 0:
             duration += self.construct_cost(work.constructs_simulated_locally)
@@ -154,6 +180,8 @@ OPENCRAFT_COST_MODEL = TickCostModel(
     backlog_interference_cap_ms=25.0,
     per_chunk_streamed_ms=2.2,
     per_loaded_chunk_ms=0.001,
+    per_update_entry_ms=0.030,
+    per_update_flush_ms=0.040,
 )
 
 MINECRAFT_COST_MODEL = TickCostModel(
@@ -170,6 +198,8 @@ MINECRAFT_COST_MODEL = TickCostModel(
     backlog_interference_cap_ms=28.0,
     per_chunk_streamed_ms=2.6,
     per_loaded_chunk_ms=0.0013,
+    per_update_entry_ms=0.045,
+    per_update_flush_ms=0.065,
 )
 
 SERVO_COST_MODEL = TickCostModel(
@@ -186,4 +216,6 @@ SERVO_COST_MODEL = TickCostModel(
     backlog_interference_cap_ms=0.0,
     per_chunk_streamed_ms=2.2,
     per_loaded_chunk_ms=0.001,
+    per_update_entry_ms=0.030,
+    per_update_flush_ms=0.042,
 )

@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
     from repro.cluster.parallel import ShardRoundExecutor
 
 from repro.constructs.circuit import SimulatedConstruct
+from repro.interest import InterestMap
 from repro.net.message import Message, MessageKind
 from repro.obs.records import RecordRing
 from repro.server.chunkmanager import ChunkManager, ChunkTickReport, OwnershipRegion
@@ -32,7 +33,11 @@ from repro.server.session import (
     snapshot_session,
 )
 from repro.sim.engine import SimulationEngine
-from repro.sim.metrics import metric_name
+from repro.sim.metrics import (
+    CONSISTENCY_ERROR_HISTOGRAM,
+    CONSISTENCY_ERROR_SERIES,
+    metric_name,
+)
 from repro.storage.base import StorageBackend, StorageOperation
 from repro.world.block import BlockType
 from repro.world.coords import BlockPos, ChunkPos, block_to_chunk
@@ -144,6 +149,7 @@ class GameServer(TickLoop):
         region: Optional[OwnershipRegion] = None,
         player_ids: Optional[Iterator[int]] = None,
         executor: Optional["ShardRoundExecutor"] = None,
+        interest: Optional[InterestMap] = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -178,7 +184,23 @@ class GameServer(TickLoop):
         #: touches players that actually sent something
         self._pending_messages: dict[int, None] = {}
         #: advanced once per tick; sessions derive updates_sent from it
+        #: (legacy broadcast only — interest mode counts actual flushes)
         self._broadcast_clock = BroadcastClock()
+        #: area-of-interest routing table; None = legacy observe-everything
+        self.interest = interest
+        if self.interest is None and config.interest_enabled:
+            self.interest = InterestMap(
+                radius_chunks=config.interest_radius_chunks,
+                near_radius_chunks=config.interest_near_radius_chunks,
+                max_staleness_ticks=config.interest_max_staleness_ticks,
+                max_drift_blocks=config.interest_max_drift_blocks,
+            )
+        if self.interest is not None:
+            # Subscription centers ride the chunk manager's existing
+            # boundary-crossing detection.
+            chunk_manager.center_listeners.append(self.interest.update_center)
+        #: the most recent tick's flush report (None in legacy mode)
+        self.last_interest_flush = None
         self._last_persist_ms = 0.0
         #: hooks called at the start of every tick (used by Servo services)
         self.pre_tick_hooks: list[Callable[[int], None]] = []
@@ -238,12 +260,19 @@ class GameServer(TickLoop):
             avatar=avatar,
             connected_at_ms=self.engine.now_ms,
         )
-        session.attach_broadcast_clock(self._broadcast_clock)
+        if self.interest is None:
+            session.attach_broadcast_clock(self._broadcast_clock)
         session.attach_pending_index(self._pending_messages)
         if self.message_channel is not None:
             session.attach_channel(self.message_channel)
         self.sessions[player_id] = session
         self.stats.players_connected_total += 1
+        if self.interest is not None:
+            self.interest.subscribe(session)
+            # The arrival itself is a visible state change for nearby players.
+            self.interest.note_dirty(
+                self.interest.chunk_of(avatar.position), source_player_id=player_id
+            )
         if self.storage is not None and restore:
             # Player data is loaded from persistent storage on connect (Figure 3).
             key = f"player_{player_name}"
@@ -271,6 +300,12 @@ class GameServer(TickLoop):
             raise KeyError(f"no connected player with id {player_id}")
         session.disconnected = True
         session.detach_broadcast_clock()
+        if self.interest is not None:
+            self.interest.unsubscribe(player_id)
+            self.interest.note_dirty(
+                self.interest.chunk_of(session.avatar.position),
+                source_player_id=player_id,
+            )
         self._pending_messages.pop(player_id, None)
         operation = None
         if persist and self.storage is not None:
@@ -326,7 +361,13 @@ class GameServer(TickLoop):
             target = BlockPos(
                 int(message.payload["x"]), int(message.payload["y"]), int(message.payload["z"])
             )
-            avatar.move_to(target)
+            distance = avatar.move_to(target)
+            if self.interest is not None:
+                self.interest.note_dirty(
+                    self.interest.chunk_of(target),
+                    drift=distance,
+                    source_player_id=avatar.player_id,
+                )
         elif kind is MessageKind.PLACE_BLOCK:
             target = BlockPos(
                 int(message.payload["x"]), int(message.payload["y"]), int(message.payload["z"])
@@ -339,6 +380,7 @@ class GameServer(TickLoop):
             except ChunkNotLoadedError:
                 pass  # placing into unloaded terrain is ignored, as in the real games
             self._notify_construct_edit(target)
+            self._notify_interest_edit(target, avatar.player_id)
         elif kind is MessageKind.BREAK_BLOCK:
             target = BlockPos(
                 int(message.payload["x"]), int(message.payload["y"]), int(message.payload["z"])
@@ -350,6 +392,7 @@ class GameServer(TickLoop):
             except ChunkNotLoadedError:
                 pass
             self._notify_construct_edit(target)
+            self._notify_interest_edit(target, avatar.player_id)
         elif kind is MessageKind.CHAT:
             avatar.chat_messages_sent += 1
         elif kind is MessageKind.SET_INVENTORY:
@@ -359,6 +402,7 @@ class GameServer(TickLoop):
                 int(message.payload["x"]), int(message.payload["y"]), int(message.payload["z"])
             )
             self._notify_construct_edit(target)
+            self._notify_interest_edit(target, avatar.player_id)
         elif kind is MessageKind.IDLE:
             pass
         else:  # pragma: no cover - defensive
@@ -398,6 +442,15 @@ class GameServer(TickLoop):
         construct_id = lookup.get(position)
         if construct_id is not None:
             self.constructs.on_player_modify(construct_id, position)
+
+    def _notify_interest_edit(self, position: BlockPos, player_id: int) -> None:
+        """Mark a block edit dirty for interest routing (no-op in legacy mode)."""
+        if self.interest is not None:
+            self.interest.note_dirty(
+                self.interest.chunk_of(position),
+                drift=1.0,
+                source_player_id=player_id,
+            )
 
     # -- the tick -------------------------------------------------------------------------
 
@@ -473,10 +526,29 @@ class GameServer(TickLoop):
         work.constructs_merged = construct_report.merged_speculative
         work.construct_tick = construct_report.construct_tick
 
-        # 4. Broadcast state updates (accounted per player by the cost model).
-        # One clock advance replaces the per-session counter bump; sessions
-        # derive their updates_sent from the ticks observed while attached.
-        self._broadcast_clock.advance()
+        # 4. Broadcast state updates.  Legacy mode advances the shared clock
+        # (one update per player per tick, accounted by the cost model's
+        # per-player term); interest mode routes dirty chunks through the
+        # subscription index and flushes zoned delta batches instead.
+        flush = None
+        if self.interest is None:
+            self._broadcast_clock.advance()
+        else:
+            if construct_report.construct_tick:
+                # Each construct that actually stepped produces one dirty
+                # entry at its anchor chunk, visible to nearby subscribers.
+                for positions in self._construct_positions.values():
+                    if positions:
+                        self.interest.note_dirty(self.interest.chunk_of(positions[0]))
+            shed_far = (
+                self.degradation.shed_flush_count if self.degradation is not None else None
+            )
+            flush = self.interest.flush(self.tick_index, shed_far=shed_far)
+            self.last_interest_flush = flush
+            work.interest_enabled = True
+            work.update_entries_flushed = flush.entries_encoded
+            work.update_flushes = flush.flushes
+            work.update_flushes_shed = flush.flushes_shed
 
         # 5. Periodic persistence (off the critical path).
         if (
@@ -489,7 +561,9 @@ class GameServer(TickLoop):
         # 6. Account the tick's virtual duration and advance the clock.
         # Graceful degradation: when the previous tick blew the budget, shed
         # part of this tick's broadcast work before costing the tick.
-        if self.degradation is not None:
+        # In interest mode shedding already happened inside the flush (far
+        # batches deferred), so the legacy per-player shed must stay zero.
+        if self.degradation is not None and self.interest is None:
             work.broadcast_players_shed = self.degradation.shed_count(work.players)
         duration_ms = self.cost_model.duration_ms(work, self._rng)
         if self.degradation is not None:
@@ -504,6 +578,24 @@ class GameServer(TickLoop):
         metrics.series("tick_duration_over_time").record(start_ms, duration_ms)
         metrics.series("view_range_over_time").record(start_ms, chunk_report.min_view_range_blocks)
         metrics.series("players_over_time").record(start_ms, self.player_count)
+        if flush is not None:
+            metrics.increment("interest_entries_flushed", flush.entries_encoded)
+            metrics.increment("interest_flushes", flush.flushes)
+            if flush.flushes_shed:
+                metrics.increment("interest_flushes_shed", flush.flushes_shed)
+            if flush.flushes:
+                # The consistency_error metric is the proof the dyconit
+                # bounds held: per-tick max staleness observed at flush.
+                metrics.histogram(metric_name(CONSISTENCY_ERROR_HISTOGRAM)).record(
+                    float(flush.staleness_max)
+                )
+                if self.region is not None:
+                    metrics.histogram(
+                        metric_name(CONSISTENCY_ERROR_HISTOGRAM, shard=self.name)
+                    ).record(float(flush.staleness_max))
+                metrics.series(CONSISTENCY_ERROR_SERIES).record(
+                    start_ms, float(flush.staleness_max)
+                )
 
         record = TickRecord(
             index=self.tick_index,
@@ -530,6 +622,21 @@ class GameServer(TickLoop):
                     "chunks_integrated": record.chunks_integrated,
                 },
             )
+            if flush is not None and flush.flushes:
+                telemetry.instant(
+                    "interest",
+                    "interest.flush",
+                    track=self.name,
+                    ts_ms=start_ms + duration_ms,
+                    args={
+                        "entries": flush.entries_encoded,
+                        "flushes": flush.flushes,
+                        "near": flush.near_flushes,
+                        "far": flush.far_flushes,
+                        "shed": flush.flushes_shed,
+                        "staleness_max": flush.staleness_max,
+                    },
+                )
         self.tick_index += 1
         self.stats.ticks_executed += 1
 

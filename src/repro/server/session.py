@@ -76,6 +76,17 @@ class PlayerSession:
             self._broadcast_attach_ticks = self._broadcast_clock.ticks
         self._updates_sent_base = int(value)
 
+    def record_updates(self, count: int = 1) -> None:
+        """Account ``count`` actually-sent updates (interest-managed flushes).
+
+        With area-of-interest broadcast the session receives delta batches,
+        not one update per tick, so ``updates_sent`` is derived from the
+        flushes that really happened; no broadcast clock is attached.  The
+        count freezes on disconnect/migration exactly as in legacy mode —
+        the base value simply stops growing.
+        """
+        self._updates_sent_base += int(count)
+
     def attach_broadcast_clock(self, clock: BroadcastClock) -> None:
         """Start deriving ``updates_sent`` from a server's broadcast clock."""
         self._broadcast_clock = clock

@@ -24,6 +24,13 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+#: per-tick maximum staleness (ticks) observed across that tick's interest
+#: flushes — the dyconit consistency-error metric; its maximum over a run
+#: proves the configured staleness budget held
+CONSISTENCY_ERROR_HISTOGRAM = "consistency_error_ticks"
+#: the same per-tick maximum as a (virtual time, value) series
+CONSISTENCY_ERROR_SERIES = "consistency_error_over_time"
+
 
 def metric_name(base: str, shard: str | None = None) -> str:
     """The canonical name of a metric, optionally scoped to one shard.

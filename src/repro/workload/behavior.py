@@ -90,6 +90,60 @@ class BoundedAreaBehavior(_ContinuousWalker):
         return [self._move_to(player_id, position, new_x, new_z)]
 
 
+class ConvergeBehavior(_ContinuousWalker):
+    """Behaviour ``C``: converge on one point, then mill around it.
+
+    Models a flash crowd: every bot beelines for the convergence point at
+    walking speed and, once within ``crowd_radius_blocks``, degenerates into
+    a bounded random walk there.  The entire population ends up in a handful
+    of chunks — the worst case for interest management's subscriber index
+    (every chunk maps to every player) and the best case for its delta
+    batching (one encoded entry serves the whole crowd).
+
+    ``target`` is the convergence point; ``None`` converges on the bot's own
+    spawn (one crowd on single-server hosts, where everyone spawns at the
+    world spawn).  :meth:`Scenario.run` pins it to the host's global spawn so
+    cluster populations — spread across zone and boundary spawns — still form
+    a single crowd in one zone.
+    """
+
+    code = "C"
+
+    def __init__(
+        self,
+        speed_blocks_per_s: float = 3.0,
+        crowd_radius_blocks: float = 8.0,
+        target: BlockPos | None = None,
+    ) -> None:
+        super().__init__()
+        self.speed_blocks_per_s = float(speed_blocks_per_s)
+        self.crowd_radius_blocks = float(crowd_radius_blocks)
+        self.target = target
+
+    def act(self, player_id, position, spawn, tick_index, tick_interval_ms, rng):
+        spawn = self.target if self.target is not None else spawn
+        x, z = self._current(position)
+        step = self.speed_blocks_per_s * tick_interval_ms / 1000.0
+        dx, dz = spawn.x - x, spawn.z - z
+        distance = math.hypot(dx, dz)
+        if distance > self.crowd_radius_blocks:
+            # Still approaching: head straight for the convergence point.
+            if distance <= step:
+                return [self._move_to(player_id, position, float(spawn.x), float(spawn.z))]
+            return [
+                self._move_to(
+                    player_id, position, x + step * dx / distance, z + step * dz / distance
+                )
+            ]
+        # Arrived: mill around inside the crowd radius.
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        new_x = min(max(x + step * math.cos(angle), spawn.x - self.crowd_radius_blocks),
+                    spawn.x + self.crowd_radius_blocks)
+        new_z = min(max(z + step * math.sin(angle), spawn.z - self.crowd_radius_blocks),
+                    spawn.z + self.crowd_radius_blocks)
+        return [self._move_to(player_id, position, new_x, new_z)]
+
+
 class StarBehavior(_ContinuousWalker):
     """Behaviour ``Sx``: walk away from spawn in a fixed direction at x blocks/s.
 
@@ -229,10 +283,12 @@ class RandomBehavior(_ContinuousWalker):
 
 
 def behavior_by_code(code: str, direction_index: int = 0) -> Behavior:
-    """Create a behaviour from its Table I code ("A", "S3", "S8", "Sinc", "R")."""
+    """Create a behaviour from its Table I code ("A", "C", "S3", "S8", "Sinc", "R")."""
     normalized = code.strip()
     if normalized == "A":
         return BoundedAreaBehavior()
+    if normalized == "C":
+        return ConvergeBehavior()
     if normalized == "R":
         return RandomBehavior()
     if normalized.lower() == "sinc":

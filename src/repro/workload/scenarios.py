@@ -23,7 +23,7 @@ from typing import Optional
 from repro.api.scenarios import register_scenario
 from repro.faults import FaultPlan, install_faults
 from repro.sim.metrics import BoxplotStats, boxplot_stats, fraction_exceeding
-from repro.workload.behavior import Behavior, behavior_by_code
+from repro.workload.behavior import Behavior, ConvergeBehavior, behavior_by_code
 from repro.workload.bots import BotSwarm, GameHost, JoinSchedule
 from repro.workload.constructs import place_standard_constructs
 
@@ -146,6 +146,11 @@ class Scenario:
         server.chunks.preload_area(server.config.spawn_position, self.preload_radius_blocks)
         place_standard_constructs(server, self.constructs)
         swarm = self.build_swarm()
+        for bot in swarm.bots:
+            # Converging bots all head for the host's global spawn, so a
+            # cluster population (spread across zone spawns) forms one crowd.
+            if isinstance(bot.behavior, ConvergeBehavior) and bot.behavior.target is None:
+                bot.behavior.target = server.config.spawn_position
         driver = swarm.install(server)
 
         if self.warmup_s > 0:
@@ -344,6 +349,28 @@ def flaky_network(players: int = 30, duration_s: float = 20.0,
                 "delay_ms_max": 400.0,
             },
         },
+    )
+
+
+@register_scenario("flash_crowd_at_spawn")
+def flash_crowd_at_spawn(players: int = 40, constructs: int = 0,
+                         duration_s: float = 20.0) -> Scenario:
+    """A flash crowd: the whole population converges on one zone.
+
+    Every player walks straight to the world spawn and mills around it, so
+    within a few virtual seconds all subscriptions, edits and broadcast
+    traffic concentrate in a handful of chunks.  On a cluster one shard
+    absorbs the entire population (its neighbours idle); with interest
+    management on, delta batching must absorb the hotspot — one encoded entry
+    serves the whole crowd — while the dyconit staleness bounds keep holding.
+    """
+    return Scenario(
+        name=f"flash-crowd-{players}p",
+        players=players,
+        behavior_code="C",
+        world_type="flat",
+        constructs=constructs,
+        duration_s=duration_s,
     )
 
 

@@ -1,0 +1,35 @@
+"""Shared helpers for the interest-management suite."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.world.coords import BlockPos
+
+
+@dataclass
+class FakeAvatar:
+    position: BlockPos
+
+
+@dataclass
+class FakeSession:
+    """Just enough of a PlayerSession for InterestMap unit tests."""
+
+    player_id: int
+    avatar: FakeAvatar
+    updates: int = 0
+    flushes: list = field(default_factory=list)
+
+    def record_updates(self, count: int = 1) -> None:
+        self.updates += count
+
+
+@pytest.fixture
+def make_session():
+    """Factory for fake sessions positioned at a block (default: chunk 0,0)."""
+
+    def factory(player_id: int, x: int = 8, z: int = 8) -> FakeSession:
+        return FakeSession(player_id=player_id, avatar=FakeAvatar(BlockPos(x, 65, z)))
+
+    return factory

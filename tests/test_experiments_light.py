@@ -22,7 +22,7 @@ def test_registry_lists_every_reproduced_artifact():
     expected = {
         "fig01", "fig03", "fig07a", "fig07b", "fig08", "fig09", "fig10",
         "fig11", "fig12a", "fig12b", "fig13", "sec4g", "tab01", "cluster",
-        "availability",
+        "availability", "flash-crowd",
     }
     assert set(EXPERIMENTS) == expected
     with pytest.raises(KeyError):
