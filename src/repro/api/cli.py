@@ -15,6 +15,9 @@ Commands:
 * ``repro report <trace.json>`` — validate a ``--trace`` file against the
   Chrome trace-event schema and print the per-subsystem virtual-time
   breakdown.
+* ``repro lint`` — statically enforce the determinism contract (rules
+  DET001–DET005) over the package source; non-zero exit on any unsuppressed
+  finding, ``--format json`` for CI.
 * ``repro --version`` — the package version.
 """
 
@@ -167,6 +170,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("trace", help="path to a Chrome trace JSON (from --trace)")
     report.set_defaults(handler=_cmd_report)
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically enforce the determinism contract (rules DET001-DET005)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="package source directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json includes the full finding schema, for CI)",
+    )
+    lint.add_argument("--config", metavar="PATH", help="explicit lint.toml path")
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print pragma- and quarantine-suppressed findings with their reasons",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 
@@ -350,6 +376,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 1
     print(format_trace_report(trace, source=args.trace))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.engine import run_lint
+
+    return run_lint(
+        paths=args.paths,
+        output_format=args.format,
+        config_path=args.config,
+        show_suppressed=args.show_suppressed,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -44,6 +44,7 @@ import os
 from typing import TYPE_CHECKING, Optional
 
 from repro.constructs.batched import BatchedCircuitStepper, advance_states
+from repro.lint.markers import pure_kernel
 from repro.world.chunk import Chunk
 from repro.world.coords import ChunkPos
 from repro.world.terrain import TerrainGenerator, make_terrain_generator
@@ -66,15 +67,17 @@ def _worker_generator(world_type: str, seed: int) -> TerrainGenerator:
     key = (world_type, seed)
     generator = _WORKER_GENERATORS.get(key)
     if generator is None:
-        generator = _WORKER_GENERATORS[key] = make_terrain_generator(world_type, seed=seed)
+        generator = _WORKER_GENERATORS[key] = make_terrain_generator(world_type, seed=seed)  # det: allow[DET004] per-process warm-generator memo; every chunk is a pure function of (world_type, seed, position)
     return generator
 
 
+@pure_kernel
 def _generate_chunk_task(world_type: str, seed: int, cx: int, cz: int) -> Chunk:
     """Generate one chunk in a worker: pure in (world type, seed, position)."""
     return _worker_generator(world_type, seed).generate_chunk(ChunkPos(cx, cz))
 
 
+@pure_kernel
 def _advance_batch_task(layout, states):
     """Step one packed batch slice in a worker: pure in (layout, states)."""
     return advance_states(layout, states)

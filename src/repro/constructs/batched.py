@@ -53,6 +53,7 @@ from repro.constructs.compiled import (
     CompiledCircuit,
 )
 from repro.constructs.components import MAX_POWER
+from repro.lint.markers import pure_kernel
 
 #: below this many circuits a batched step costs more than it saves
 DEFAULT_MIN_BATCH = 8
@@ -66,7 +67,7 @@ def _batch_signature(circuits: list[CompiledCircuit]) -> tuple:
     references to the circuits.
     """
     return tuple(
-        (id(circuit), circuit.construct.modification_counter) for circuit in circuits
+        (id(circuit), circuit.construct.modification_counter) for circuit in circuits  # det: allow[DET005] identity key compared only for equality, never ordered or persisted; the batch holds strong refs
     )
 
 
@@ -144,6 +145,7 @@ class CircuitBatchLayout:
         self.comparator_idx = np.nonzero(codes == _COMPARATOR)[0]
 
 
+@pure_kernel
 def advance_states(layout: CircuitBatchLayout, states: np.ndarray) -> np.ndarray:
     """One synchronous step of every packed circuit: pure integer numpy math.
 

@@ -91,7 +91,7 @@ class _AvailableSequence:
     def aligned_values(self, construct: SimulatedConstruct, step: int) -> list[int]:
         """The snapshot for ``step`` as a cell-order-aligned value list."""
         snapshot = self.sequence.raw_state_at(step)
-        key = id(snapshot)
+        key = id(snapshot)  # det: allow[DET005] per-object memo of a content-pure alignment; key is never ordered, iterated or persisted
         values = self.aligned.get(key)
         if values is None:
             states = snapshot.states

@@ -50,7 +50,7 @@ def install_faults(host: Host, plan: Optional[FaultPlan]) -> Optional[FaultInjec
 
     if plan.faas is not None and plan.faas.active:
         platforms = {
-            id(platform): platform
+            id(platform): platform  # det: allow[DET005] identity-dedupe of shared platforms; iteration stays in shard-discovery order
             for platform in map(_platform_of, servers)
             if platform is not None
         }

@@ -195,7 +195,7 @@ class InterestMap:
         sub = self._subs.pop(player_id, None)
         if sub is None:
             return None
-        for chunk in self._footprint(sub.center):
+        for chunk in sorted(self._footprint(sub.center)):
             owners = self._chunk_subs.get(chunk)
             if owners is not None:
                 owners.pop(player_id, None)
@@ -210,7 +210,7 @@ class InterestMap:
             return
         old_footprint = self._footprint(sub.center)
         new_footprint = self._footprint(center)
-        for chunk in old_footprint - new_footprint:
+        for chunk in sorted(old_footprint - new_footprint):
             owners = self._chunk_subs.get(chunk)
             if owners is not None:
                 owners.pop(player_id, None)
@@ -409,7 +409,7 @@ class InterestMap:
         """True when the inverse index matches a from-scratch recomputation."""
         rebuilt: dict[ChunkKey, set[int]] = {}
         for sub in self._subs.values():
-            for chunk in self._footprint(sub.center):
+            for chunk in self._footprint(sub.center):  # det: allow[DET003] builds sets compared by ==; fully order-insensitive
                 rebuilt.setdefault(chunk, set()).add(sub.player_id)
         current = {
             chunk: set(owners) for chunk, owners in self._chunk_subs.items() if owners

@@ -395,12 +395,12 @@ class ChunkManager:
         required = self._required_for_center(current_chunk)
         old_required = cached[1] if cached is not None else frozenset()
         refcounts = self._chunk_refcounts
-        for position in required - old_required:
+        for position in sorted(required - old_required):
             count = refcounts.get(position, 0)
             refcounts[position] = count + 1
             if count == 0 and not self.world.is_loaded(position):
                 self._unavailable.add(position)
-        for position in old_required - required:
+        for position in sorted(old_required - required):
             self._release_required(position)
         self._player_views[avatar.player_id] = (current_chunk, required)
         if cached is not None:
@@ -527,15 +527,16 @@ class ChunkManager:
             return self.view_distance_blocks
         # Broadcast avatars against unavailable chunk centers instead of a
         # Python double loop — this runs every tick while terrain is in flight.
+        unavailable = sorted(self._unavailable)
         centers_x = np.fromiter(
-            (pos.cx * CHUNK_SIZE + 8 for pos in self._unavailable),
+            (pos.cx * CHUNK_SIZE + 8 for pos in unavailable),
             dtype=np.float64,
-            count=len(self._unavailable),
+            count=len(unavailable),
         )
         centers_z = np.fromiter(
-            (pos.cz * CHUNK_SIZE + 8 for pos in self._unavailable),
+            (pos.cz * CHUNK_SIZE + 8 for pos in unavailable),
             dtype=np.float64,
-            count=len(self._unavailable),
+            count=len(unavailable),
         )
         avatars_x = np.fromiter(
             (avatar.position.x for avatar in avatars), dtype=np.float64, count=len(avatars)

@@ -8,6 +8,7 @@ serialize and hash.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -108,5 +109,15 @@ class Chunk:
         )
 
     def content_hash(self) -> int:
-        """A stable hash of the block contents (used in tests and caching)."""
-        return hash((self.position, self.blocks.tobytes()))
+        """A stable hash of the block contents (used in tests and caching).
+
+        Derived with :mod:`hashlib` rather than builtin ``hash()``: Python
+        salts ``str``/``bytes`` hashes per process (PYTHONHASHSEED), so the
+        old tuple hash silently differed between processes while claiming
+        stability.  This digest is a pure function of the chunk's position
+        and block bytes — equal content always hashes equally, anywhere.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self.position.cx}:{self.position.cz}:".encode("ascii"))
+        digest.update(self.blocks.tobytes())
+        return int.from_bytes(digest.digest()[:8], "little")

@@ -1,0 +1,27 @@
+"""Shared fixture-tree helper for the determinism-linter suite."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import LintReport, lint_tree
+
+
+@pytest.fixture
+def lint_snippets(tmp_path):
+    """Write a {relative path: source} mapping and lint it as package ``pkg``."""
+
+    def _lint(
+        files: dict[str, str], config: LintConfig | None = None
+    ) -> LintReport:
+        package_dir = tmp_path / "pkg"
+        for rel, source in files.items():
+            path = package_dir / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_tree(package_dir, config=config or LintConfig(), package_name="pkg")
+
+    return _lint

@@ -1,0 +1,90 @@
+"""Runtime contract of the ``@pure_kernel``-marked pool-boundary functions.
+
+DET004 checks purity statically; this suite exercises the same contract at
+runtime: calling each kernel twice on (copies of) the same inputs must
+return identical results and leave every argument bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.parallel import _advance_batch_task, _generate_chunk_task
+from repro.constructs.batched import CircuitBatchLayout, advance_states
+from repro.constructs.compiled import compile_circuit
+from repro.constructs.library import build_clock, build_counter_farm, build_wire_line
+from repro.lint.markers import is_pure_kernel, pure_kernel
+
+
+def test_pool_boundary_functions_carry_the_marker():
+    assert is_pure_kernel(advance_states)
+    assert is_pure_kernel(_generate_chunk_task)
+    assert is_pure_kernel(_advance_batch_task)
+
+
+def test_marker_is_a_transparent_decorator():
+    def plain(x):
+        return x + 1
+
+    assert not is_pure_kernel(plain)
+    marked = pure_kernel(plain)
+    assert marked is plain  # no wrapper: pickling by reference keeps working
+    assert is_pure_kernel(marked)
+    assert marked(2) == 3
+
+
+def _batch_inputs():
+    fleet = [
+        build_clock(period=6, lamps=2),
+        build_wire_line(length=7, powered=True),
+        build_counter_farm(),
+    ]
+    circuits = [compile_circuit(construct) for construct in fleet]
+    layout = CircuitBatchLayout(circuits)
+    states = np.fromiter(
+        (cell.state for circuit in circuits for cell in circuit._cells),
+        dtype=np.int64,
+        count=layout.total,
+    )
+    return layout, states
+
+
+def _layout_snapshot(layout: CircuitBatchLayout) -> dict[str, np.ndarray]:
+    return {
+        name: np.array(getattr(layout, name), copy=True)
+        for name in CircuitBatchLayout.__slots__
+        if isinstance(getattr(layout, name), np.ndarray)
+    }
+
+
+def _advance_twice_asserting_purity(kernel):
+    layout, states = _batch_inputs()
+    states_before = states.copy()
+    arrays_before = _layout_snapshot(layout)
+
+    first = kernel(layout, states.copy())
+    second = kernel(layout, states.copy())
+
+    assert (first == second).all(), "same inputs must give the same step"
+    assert first is not states
+    assert (states == states_before).all(), "the state vector must not be mutated"
+    for name, before in arrays_before.items():
+        assert (getattr(layout, name) == before).all(), f"layout.{name} was mutated"
+
+
+def test_advance_states_double_call_no_argument_mutation():
+    _advance_twice_asserting_purity(advance_states)
+
+
+def test_advance_batch_task_double_call_no_argument_mutation():
+    _advance_twice_asserting_purity(_advance_batch_task)
+
+
+def test_generate_chunk_task_is_pure_in_its_arguments():
+    spec = ("default", 1234, 3, -2)
+    first = _generate_chunk_task(*spec)
+    second = _generate_chunk_task(*spec)
+    assert first is not second
+    assert (first.blocks == second.blocks).all()
+    assert first.content_hash() == second.content_hash()
+    assert first.position == second.position

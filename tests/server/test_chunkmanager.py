@@ -249,3 +249,27 @@ def test_ownership_region_filters_loading_and_preload(engine):
         manager.update([avatar_at(0, 0)])
     assert all(position.cx >= 0 for position in world.loaded_chunk_positions)
     assert all(position.cx >= 0 for position in manager._chunk_refcounts)
+
+
+# -- determinism regression: view-crossing order (DET003) ------------------------------
+
+
+def test_view_crossing_queues_and_requests_chunks_in_sorted_order(engine):
+    """Regression for the set-iteration fix in ``_refresh_player_view``.
+
+    Newly visible chunks used to be queued in set-iteration order; the
+    stream order to a client is an ordered, observable sink, so it must be
+    the sorted chunk order regardless of how the required sets hash.
+    """
+    manager, _, _ = make_manager(engine, view_distance=64.0)
+    avatar = avatar_at(0, 0)
+    manager.update([avatar])
+    assert manager._player_send_queue[avatar.player_id] == []
+
+    # A diagonal jump across several chunk boundaries at once exposes the
+    # iteration order of a large `required - old_required` set difference.
+    avatar.position = BlockPos(40, 65, 24)
+    manager.update([avatar])
+    queue = list(manager._player_send_queue[avatar.player_id])
+    assert queue, "a boundary crossing must queue newly visible chunks"
+    assert queue == sorted(queue)
